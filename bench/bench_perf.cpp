@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) of the analysis and simulation
+// kernels: demand-bound evaluation, the pseudo-polynomial speedup search
+// (Theorem 2), the resetting-time solver (Corollary 5), task generation and
+// simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+#include "rbs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rbs;
+
+TaskSet make_set(std::uint64_t seed, double u_bound, double x, double y) {
+  Rng rng(seed);
+  GenParams params;
+  params.u_bound = u_bound;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    const MinXResult mx = min_x_for_lo(*skeleton);
+    if (!mx.feasible) continue;
+    return skeleton->materialize(x > 0 ? x : mx.x, y);
+  }
+  throw std::runtime_error("could not generate benchmark set");
+}
+
+void BM_DbfHiTotal(benchmark::State& state) {
+  const TaskSet set = make_set(1, 0.7, -1.0, 2.0);
+  Ticks delta = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbf_hi_total(set, delta));
+    delta = delta % 100000 + 17;
+  }
+}
+BENCHMARK(BM_DbfHiTotal);
+
+void BM_MinSpeedup(benchmark::State& state) {
+  const TaskSet set = make_set(static_cast<std::uint64_t>(state.range(0)),
+                               static_cast<double>(state.range(0)) / 10.0, -1.0, 2.0);
+  for (auto _ : state) benchmark::DoNotOptimize(min_speedup(set).s_min);
+  state.SetLabel(std::to_string(set.size()) + " tasks");
+}
+BENCHMARK(BM_MinSpeedup)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_ResettingTime(benchmark::State& state) {
+  const TaskSet set = make_set(7, 0.7, -1.0, 2.0);
+  for (auto _ : state) benchmark::DoNotOptimize(resetting_time(set, 2.0).delta_r);
+}
+BENCHMARK(BM_ResettingTime);
+
+void BM_LoModeForwardSweep(benchmark::State& state) {
+  const TaskSet set = make_set(21, 0.9, 0.4, 2.0);  // constrained deadlines
+  for (auto _ : state) benchmark::DoNotOptimize(lo_mode_test(set).schedulable);
+}
+BENCHMARK(BM_LoModeForwardSweep);
+
+void BM_LoModeQpa(benchmark::State& state) {
+  const TaskSet set = make_set(21, 0.9, 0.4, 2.0);  // same set as forward sweep
+  for (auto _ : state) benchmark::DoNotOptimize(qpa_lo_test(set).schedulable);
+}
+BENCHMARK(BM_LoModeQpa);
+
+void BM_MinXSearch(benchmark::State& state) {
+  Rng rng(11);
+  GenParams params;
+  params.u_bound = 0.7;
+  const auto skeleton = generate_task_set(params, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(min_x_for_lo(*skeleton).x);
+}
+BENCHMARK(BM_MinXSearch);
+
+void BM_TaskGeneration(benchmark::State& state) {
+  Rng rng(13);
+  GenParams params;
+  params.u_bound = 0.8;
+  for (auto _ : state) benchmark::DoNotOptimize(generate_task_set(params, rng));
+}
+BENCHMARK(BM_TaskGeneration);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const TaskSet set = make_set(17, 0.6, -1.0, 2.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.hi_speed = 2.0;
+  cfg.demand.overrun_probability = 0.3;
+  cfg.release_jitter = 0.1;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const sim::SimResult r = sim::simulate(set, cfg);
+    jobs += r.jobs_released;
+    benchmark::DoNotOptimize(r.jobs_completed);
+  }
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

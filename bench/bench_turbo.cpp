@@ -1,0 +1,198 @@
+// Turbo-budget and DVFS-energy ablations (Sections I and IV of the paper:
+// "Intel turbo boost technology would allow a maximum of 2x speedup for
+// around 30s"; overrun bursts separated by T_O bound the boost frequency by
+// 1/T_O).
+//
+//  (1) energy per boost episode across a cubic-power DVFS menu: faster
+//      levels drain more power but finish the backlog (Corollary 5) sooner;
+//  (2) offline turbo-envelope admissibility of random workloads, including
+//      the termination fallback;
+//  (3) executed duty cycle under the burst-separation model vs the analytic
+//      Delta_R / T_O bound.
+//
+//   bench_turbo [--sets 40] [--seed 1]
+#include "common.hpp"
+
+#include <cmath>
+
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const CliArgs args(argc, argv);
+  const int n_sets = static_cast<int>(args.get_int("sets", 40));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  bench::banner("Turbo budget & DVFS energy",
+                "Boost-energy trade-off, envelope admissibility and executed duty\n"
+                "cycles under the burst-separation assumption.");
+
+  Rng rng(seed);
+  GenParams params;
+  params.u_bound = 0.7;
+  params.period_min = 20;
+  params.period_max = 2000;
+
+  // ---- (1) energy per boost episode across a DVFS menu ----
+  std::cout << "(1) boost energy, cubic power model P(s) = s^3 (medians over sets)\n";
+  const double speeds[] = {1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0};
+  TextTable t1;
+  t1.set_header({"level s", "P(s)", "med Delta_R [ms]", "med energy P*dR", "feasible [%]"});
+  {
+    std::vector<TaskSet> sets;
+    for (int i = 0; i < n_sets; ++i) {
+      const auto skeleton = generate_task_set(params, rng);
+      if (!skeleton) continue;
+      if (const auto set = bench::materialize_min_x(*skeleton, 2.0)) sets.push_back(*set);
+    }
+    int optimal_counts[std::size(speeds)] = {};
+    for (double s : speeds) {
+      std::vector<double> dr_ms, energy;
+      int feasible = 0;
+      for (const TaskSet& set : sets) {
+        if (min_speedup_value(set) > s) continue;
+        const double dr = resetting_time_value(set, s);
+        if (!std::isfinite(dr)) continue;
+        ++feasible;
+        dr_ms.push_back(dr / 10.0);
+        energy.push_back(s * s * s * dr);
+      }
+      t1.add_row({TextTable::num(s, 1), TextTable::num(s * s * s, 2),
+                  TextTable::num(median(dr_ms), 1), TextTable::num(median(energy), 0),
+                  TextTable::num(sets.empty() ? 0.0 : 100.0 * feasible /
+                                                          static_cast<double>(sets.size()),
+                                 0)});
+    }
+    t1.print(std::cout);
+    // Per-set energy-optimal level from the library's selector.
+    FrequencyMenu menu = FrequencyMenu::cubic({1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0});
+    for (const TaskSet& set : sets) {
+      const LevelChoice c = energy_optimal_level(set, menu);
+      if (!c.feasible) continue;
+      for (std::size_t k = 0; k < std::size(speeds); ++k)
+        if (std::abs(speeds[k] - c.level.speed) < 1e-9) ++optimal_counts[k];
+    }
+    std::cout << "\nenergy-optimal level histogram:";
+    for (std::size_t k = 0; k < std::size(speeds); ++k)
+      std::cout << "  " << speeds[k] << "x:" << optimal_counts[k];
+    std::cout << "\n(the slowest feasible level usually wins under cubic power;\n"
+                 "flatter power curves favour shorter, faster boosts)\n\n";
+  }
+
+  // ---- (2) envelope admissibility ----
+  // A tight envelope (1.6x for at most 80 ms) differentiates: the x factor
+  // follows the paper's utilization rule, so high-utilization sets need real
+  // speedup and long boosts; the termination fallback rescues some of them.
+  std::cout << "(2) tight envelope: 1.6x for at most 80 ms (800 ticks)\n";
+  TextTable t2;
+  t2.set_header({"U_bound", "speed ok [%]", "duration ok [%]", "fallback saves [%]",
+                 "admissible [%]"});
+  for (double u : {0.5, 0.7, 0.9}) {
+    GenParams p2 = params;
+    p2.u_bound = u;
+    int total = 0, speed_ok = 0, duration_ok = 0, rescued = 0, admissible = 0;
+    for (int i = 0; i < n_sets; ++i) {
+      const auto skeleton = generate_task_set(p2, rng);
+      if (!skeleton) continue;
+      const auto set =
+          bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
+      if (!set) continue;
+      ++total;
+      TurboEnvelope env;
+      env.max_speedup = 1.6;
+      env.max_boost_ticks = 800.0;
+      const TurboReport r = check_turbo_envelope(*set, env);
+      speed_ok += r.speed_ok;
+      duration_ok += r.duration_ok;
+      rescued += (!r.duration_ok && r.speed_ok && r.fallback_safe);
+      admissible += r.admissible;
+    }
+    auto pct = [&](int k) {
+      return TextTable::num(total ? 100.0 * k / total : 0.0, 0);
+    };
+    t2.add_row({TextTable::num(u, 1), pct(speed_ok), pct(duration_ok), pct(rescued),
+                pct(admissible)});
+  }
+  t2.print(std::cout);
+
+  // ---- (3) executed duty cycle vs the 1/T_O bound ----
+  std::cout << "\n(3) executed boost duty cycle with bursts separated by T_O\n";
+  TextTable t3;
+  t3.set_header({"T_O [ms]", "analytic bound dR/T_O [%]", "executed duty [%]", "sets"});
+  for (double t_o_ms : {500.0, 1000.0, 2000.0}) {
+    const double t_o = t_o_ms * 10.0;  // ticks
+    std::vector<double> bounds, duties;
+    for (int i = 0; i < n_sets / 2; ++i) {
+      const auto skeleton = generate_task_set(params, rng);
+      if (!skeleton) continue;
+      const auto set = bench::materialize_min_x(*skeleton, 2.0);
+      if (!set || min_speedup_value(*set) > 2.0) continue;
+      const double dr = resetting_time_value(*set, 2.0);
+      if (!std::isfinite(dr) || dr > t_o) continue;  // the 1/T_O argument needs dR <= T_O
+      sim::SimConfig cfg;
+      cfg.horizon = 400000.0;  // 40 s
+      cfg.hi_speed = 2.0;
+      cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
+      cfg.min_overrun_separation = t_o;
+      cfg.seed = seed + static_cast<std::uint64_t>(i);
+      const sim::SimResult r = sim::simulate(*set, cfg);
+      double boosted = 0.0;
+      for (double d : r.hi_dwell_times) boosted += d;
+      bounds.push_back(100.0 * dr / t_o);
+      duties.push_back(100.0 * boosted / cfg.horizon);
+      // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
+      if (duties.back() > bounds.back() + 100.0 * dr / cfg.horizon + 1e-6) {
+        std::cout << "ERROR: executed duty cycle exceeds the bound\n";
+        return 1;
+      }
+    }
+    t3.add_row({TextTable::num(t_o_ms, 0), TextTable::num(median(bounds), 2),
+                TextTable::num(median(duties), 2),
+                TextTable::num(static_cast<long long>(bounds.size()))});
+  }
+  t3.print(std::cout);
+  std::cout << "\nSpeedup is only temporarily required: with bursts T_O apart the\n"
+               "processor is boosted for at most Delta_R/T_O of the time.\n";
+
+  // ---- (4) DVFS transition-latency sweep ----
+  std::cout << "\n(4) certificate vs transition latency (medians over sets)\n";
+  TextTable t4;
+  t4.set_header({"latency [ms]", "med s_min(L)", "med dR(2, L) [ms]", "infeasible [%]"});
+  {
+    GenParams p4 = params;
+    p4.u_bound = 0.9;  // heavy sets: the boost (and thus the ramp) matters
+    std::vector<TaskSet> sets;
+    for (int i = 0; i < n_sets; ++i) {
+      const auto skeleton = generate_task_set(p4, rng);
+      if (!skeleton) continue;
+      if (const auto set = bench::materialize_min_x(*skeleton, 2.0,
+                                                    bench::XPolicy::kUtilization))
+        sets.push_back(*set);
+    }
+    for (double latency_ms : {0.0, 1.0, 5.0, 20.0}) {
+      const auto latency = static_cast<Ticks>(latency_ms * 10.0);
+      std::vector<double> s_mins, resets;
+      int infeasible = 0;
+      for (const TaskSet& set : sets) {
+        const LatencySpeedupResult r = min_speedup_with_latency(set, latency);
+        if (!std::isfinite(r.s_min)) {
+          ++infeasible;
+          continue;
+        }
+        s_mins.push_back(r.s_min);
+        const double dr = resetting_time_with_latency(set, 2.0, latency);
+        if (std::isfinite(dr)) resets.push_back(dr / 10.0);
+      }
+      t4.add_row({TextTable::num(latency_ms, 0), TextTable::num(median(s_mins), 3),
+                  TextTable::num(median(resets), 1),
+                  TextTable::num(sets.empty() ? 0.0 : 100.0 * infeasible /
+                                                          static_cast<double>(sets.size()),
+                                 0)});
+    }
+  }
+  t4.print(std::cout);
+  std::cout << "\nSlow frequency ramps inflate both the certificate and the recovery\n"
+               "time; past the shortest prepared deadline no boost can help at all.\n";
+  return 0;
+}

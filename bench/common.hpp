@@ -1,0 +1,85 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md section 3).
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "rbs.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace rbs::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::cout << "=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+/// Opens a CSV file in the --csv directory (if given); returns nullopt when
+/// the flag is absent.
+inline std::optional<CsvWriter> open_csv(const CliArgs& args, const std::string& name) {
+  if (!args.has("csv")) return std::nullopt;
+  const std::string dir = args.get_string("csv", ".");
+  CsvWriter writer(dir + "/" + name);
+  if (!writer.ok()) {
+    std::cerr << "warning: cannot write " << dir << "/" << name << "\n";
+    return std::nullopt;
+  }
+  return writer;
+}
+
+/// How the common overrun-preparation factor x is chosen ("x in all cases is
+/// set to the minimum to guarantee LO mode schedulability"):
+///   * kUtilization -- the EDF-VD rule x = U_HI(LO)/(1-U_LO(LO)) of [4],
+///     which the magnitudes of the paper's Figs. 6-7 are consistent with
+///     (default for those benches);
+///   * kExact -- bisection over the exact processor-demand test; yields far
+///     smaller x (deadlines collapse towards WCETs) and correspondingly
+///     smaller required speedups (ablation; see EXPERIMENTS.md).
+enum class XPolicy { kExact, kUtilization };
+
+inline XPolicy parse_x_policy(const CliArgs& args, XPolicy fallback) {
+  const std::string v = args.get_string("x-policy", "");
+  if (v == "exact") return XPolicy::kExact;
+  if (v == "util" || v == "utilization") return XPolicy::kUtilization;
+  if (!v.empty()) std::cerr << "warning: unknown --x-policy '" << v << "'\n";
+  return fallback;
+}
+
+/// The minimum x under `policy`, nudged upward (integer deadline rounding)
+/// until the materialised set passes the exact LO-mode test; nullopt when
+/// LO mode cannot be made schedulable.
+inline std::optional<double> min_x_under_policy(const ImplicitSet& skeleton, XPolicy policy) {
+  const MinXResult mx =
+      policy == XPolicy::kExact ? min_x_for_lo(skeleton) : utilization_min_x(skeleton);
+  if (!mx.feasible) return std::nullopt;
+  for (double x = mx.x; x <= 1.0 + 1e-9; x += 0.005) {
+    const double clamped = std::min(x, 1.0);
+    if (lo_mode_schedulable(skeleton.materialize(clamped, 1.0))) return clamped;
+    if (clamped >= 1.0) break;
+  }
+  return std::nullopt;
+}
+
+/// Materialises a skeleton at the policy-minimal x with degradation y.
+inline std::optional<TaskSet> materialize_min_x(const ImplicitSet& skeleton, double y,
+                                                XPolicy policy = XPolicy::kExact) {
+  const auto x = min_x_under_policy(skeleton, policy);
+  if (!x) return std::nullopt;
+  return skeleton.materialize(*x, y);
+}
+
+/// Terminating variant of materialize_min_x.
+inline std::optional<TaskSet> materialize_min_x_terminating(
+    const ImplicitSet& skeleton, XPolicy policy = XPolicy::kExact) {
+  const auto x = min_x_under_policy(skeleton, policy);
+  if (!x) return std::nullopt;
+  return skeleton.materialize_terminating(*x);
+}
+
+}  // namespace rbs::bench

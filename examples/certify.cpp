@@ -1,0 +1,144 @@
+// Certification report generator: the whole library in one CLI.
+//
+// Reads a task set from a file (see src/support/taskset_io.hpp for the
+// format; defaults to the built-in Table I example) and produces the full
+// offline argument for deploying it under temporary processor speedup:
+// LO-mode test (forward + QPA cross-check), minimum speedup, resetting-time
+// curve, DVFS level choice, turbo-envelope admissibility incl. the
+// termination fallback, sensitivity headroom and overhead tolerance --
+// finishing with a simulation smoke run at the chosen operating point.
+//
+// Usage: certify [--file tasks.txt] [--max-speed 2.0] [--max-boost 10000]
+//                [--ticks-per-ms 10] [--latency 0]
+#include <cmath>
+#include <iostream>
+#include <variant>
+
+#include "gen/paper_examples.hpp"
+#include "rbs.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/taskset_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const CliArgs args(argc, argv);
+  const double max_speed = args.get_double("max-speed", 2.0);
+  const double max_boost = args.get_double("max-boost", 10000.0);
+  const double ticks_per_ms = args.get_double("ticks-per-ms", 10.0);
+
+  TaskSet set = table1_base();
+  if (args.has("file")) {
+    auto parsed = read_task_set_file(args.get_string("file", ""));
+    if (std::holds_alternative<ParseError>(parsed)) {
+      const ParseError& e = std::get<ParseError>(parsed);
+      std::cerr << "parse error";
+      if (e.line) std::cerr << " (line " << e.line << ")";
+      std::cerr << ": " << e.message << "\n";
+      return 2;
+    }
+    set = std::get<TaskSet>(parsed);
+  }
+
+  std::cout << "=== certification report ===\nworkload (" << set.size() << " tasks):\n";
+  for (const McTask& t : set) std::cout << "  " << describe(t) << "\n";
+  std::cout << "envelope: speedup <= " << max_speed << ", boost <= "
+            << max_boost / ticks_per_ms << " ms\n\n";
+
+  // 1. LO mode, two independent algorithms.
+  const bool lo_fwd = lo_mode_schedulable(set);
+  const bool lo_qpa = qpa_lo_schedulable(set);
+  std::cout << "[1] LO-mode EDF: forward sweep " << (lo_fwd ? "PASS" : "FAIL") << ", QPA "
+            << (lo_qpa ? "PASS" : "FAIL") << "\n";
+  if (lo_fwd != lo_qpa) {
+    std::cout << "    INTERNAL DISAGREEMENT -- report a bug\n";
+    return 3;
+  }
+  if (!lo_fwd) {
+    std::cout << "    normal operation infeasible; nothing to certify\n";
+    return 1;
+  }
+
+  // 2. Minimum speedup, with and without the DVFS transition latency.
+  const SpeedupResult s_min = min_speedup(set);
+  std::cout << "[2] minimum HI-mode speedup s_min = " << TextTable::num(s_min.s_min, 4)
+            << (s_min.s_min <= max_speed ? "  (within envelope)" : "  EXCEEDS ENVELOPE")
+            << "\n";
+  const auto latency = static_cast<Ticks>(args.get_int("latency", 0));
+  if (latency > 0) {
+    const LatencySpeedupResult with_latency = min_speedup_with_latency(set, latency);
+    std::cout << "    with " << latency << "-tick DVFS transition latency: s_min = "
+              << TextTable::num(with_latency.s_min, 4)
+              << (with_latency.s_min <= max_speed ? "" : "  EXCEEDS ENVELOPE") << "\n";
+    if (with_latency.s_min > max_speed) {
+      std::cout << "\nverdict: NOT CERTIFIABLE (transition latency)\n";
+      return 1;
+    }
+  }
+
+  // 3. Resetting-time curve.
+  std::cout << "[3] resetting time:";
+  for (double f : {1.0, 0.75, 0.5}) {
+    const double s = max_speed * f + s_min.s_min * (1.0 - f);
+    const double dr = resetting_time_value(set, s);
+    std::cout << "  dR(" << TextTable::num(s, 2) << "x) = "
+              << TextTable::num(dr / ticks_per_ms, 1) << " ms";
+  }
+  std::cout << "\n";
+
+  // 4. DVFS level choice on a generic menu up to the envelope ceiling.
+  const FrequencyMenu menu = FrequencyMenu::cubic(
+      {1.0, 1.0 + (max_speed - 1.0) / 3, 1.0 + 2 * (max_speed - 1.0) / 3, max_speed});
+  const LevelChoice level = min_feasible_level(set, menu);
+  const LevelChoice green = energy_optimal_level(set, menu);
+  if (level.feasible)
+    std::cout << "[4] slowest feasible DVFS level " << level.level.speed
+              << "x (boost " << TextTable::num(level.delta_r / ticks_per_ms, 1)
+              << " ms); energy-optimal level " << green.level.speed << "x\n";
+  else
+    std::cout << "[4] no DVFS level on the menu covers s_min\n";
+
+  // 5. Turbo envelope incl. fallback.
+  TurboEnvelope env;
+  env.max_speedup = max_speed;
+  env.max_boost_ticks = max_boost;
+  const TurboReport turbo = check_turbo_envelope(set, env);
+  std::cout << "[5] turbo envelope: speed " << (turbo.speed_ok ? "ok" : "FAIL")
+            << ", duration " << (turbo.duration_ok ? "ok" : "exceeded")
+            << ", termination fallback " << (turbo.fallback_safe ? "safe" : "unsafe")
+            << " -> " << (turbo.admissible ? "ADMISSIBLE" : "NOT ADMISSIBLE") << "\n";
+
+  // 6. Headroom.
+  const auto gamma = max_tolerable_gamma(set, max_speed);
+  const Ticks overhead = max_tolerable_context_switch(set, max_speed);
+  std::cout << "[6] headroom: WCET uncertainty up to gamma = "
+            << (gamma ? TextTable::num(*gamma, 2) : std::string("none"))
+            << "; context-switch cost up to "
+            << (overhead >= 0 ? TextTable::num(static_cast<long long>(overhead))
+                              : std::string("none"))
+            << " ticks\n";
+
+  if (!turbo.admissible) {
+    std::cout << "\nverdict: NOT CERTIFIABLE under this envelope\n";
+    return 1;
+  }
+
+  // 7. Simulation smoke run at the chosen operating point.
+  sim::SimConfig cfg;
+  cfg.horizon = 100000.0;
+  cfg.hi_speed = max_speed;
+  cfg.demand.overrun_probability = 0.3;
+  cfg.release_jitter = 0.1;
+  cfg.max_boost_duration = turbo.duration_ok ? 0.0 : max_boost;
+  const sim::SimResult r = sim::simulate(set, cfg);
+  std::cout << "[7] simulation: " << r.jobs_released << " jobs, " << r.mode_switches
+            << " overrun episodes, " << r.budget_fallbacks << " budget fallbacks, "
+            << r.misses.size() << " deadline misses, worst dwell "
+            << TextTable::num(r.max_hi_dwell() / ticks_per_ms, 1) << " ms\n";
+
+  const bool ok = !r.deadline_missed();
+  std::cout << "\nverdict: " << (ok ? "CERTIFIABLE" : "SIMULATION CONTRADICTS ANALYSIS (bug!)")
+            << "\n";
+  return ok ? 0 : 3;
+}

@@ -1,0 +1,74 @@
+// Three criticality levels (IEC 61508-flavoured: SIL-2 / SIL-1 /
+// non-critical) under temporary speedup.
+//
+// The system starts in mode 0. When any job of a SIL task exceeds its
+// level-0 WCET the system boosts into mode 1 (non-critical service
+// degraded); if a SIL-2 job then also exceeds its level-1 WCET the system
+// escalates to mode 2 (non-critical terminated, SIL-1 degraded, possibly a
+// higher boost). Each transition is certified by the dual-criticality
+// projection; each HI-mode episode ends at the idle instant, back at mode 0
+// and nominal speed.
+//
+// Usage: multi_level [--s1 1.5] [--s2 2.0]
+#include <cmath>
+#include <iostream>
+
+#include "multi/mlc.hpp"
+#include "rbs.hpp"
+#include "sim/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const CliArgs args(argc, argv);
+  const std::vector<double> speeds{args.get_double("s1", 1.5), args.get_double("s2", 2.0)};
+
+  // {T, D, C} per mode; ticks are milliseconds.
+  std::vector<MlcTask> tasks;
+  tasks.push_back({"brake_ctrl (SIL-2)", 2, {{50, 12, 4}, {50, 25, 8}, {50, 50, 14}}});
+  tasks.push_back({"watchdog (SIL-2)", 2, {{100, 30, 6}, {100, 60, 12}, {100, 100, 20}}});
+  tasks.push_back({"diagnosis (SIL-1)", 1, {{80, 24, 6}, {80, 64, 12}, {160, 160, 12}}});
+  tasks.push_back({"telemetry", 0, {{60, 60, 8}, {120, 120, 8}, {kInfTicks, kInfTicks, 8}}});
+  tasks.push_back({"ui", 0, {{200, 200, 30}, {400, 400, 30}, {kInfTicks, kInfTicks, 30}}});
+  const MlcSystem system(3, std::move(tasks));
+
+  std::cout << "3-level system, boost budgets: mode 1 at " << speeds[0] << "x, mode 2 at "
+            << speeds[1] << "x\n\n";
+
+  const MlcAnalysis analysis = analyze_mlc(system, speeds);
+  TextTable t;
+  t.set_header({"transition", "s_min", "budget", "Delta_R [ms]", "ok"});
+  for (std::size_t k = 0; k < analysis.level_speedups.size(); ++k) {
+    t.add_row({"mode " + std::to_string(k) + " -> " + std::to_string(k + 1),
+               TextTable::num(analysis.level_speedups[k], 3), TextTable::num(speeds[k], 2),
+               TextTable::num(analysis.reset_times[k], 1),
+               analysis.level_speedups[k] <= speeds[k] ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "mode 0 schedulable: " << (analysis.mode0_schedulable ? "yes" : "NO")
+            << "\noverall: " << (analysis.schedulable ? "SCHEDULABLE" : "not schedulable")
+            << "\n\n";
+  if (!analysis.schedulable) return 1;
+
+  // Execute each transition's projection as its own dual-criticality system.
+  std::cout << "executed projections (10 s each, random overruns):\n";
+  for (int k = 1; k < system.num_levels(); ++k) {
+    const TaskSet proj = system.projection(k);
+    sim::SimConfig cfg;
+    cfg.horizon = 10000.0;
+    cfg.hi_speed = speeds[static_cast<std::size_t>(k) - 1];
+    cfg.demand.overrun_probability = 0.3;
+    cfg.release_jitter = 0.1;
+    cfg.seed = static_cast<std::uint64_t>(k) * 7 + 1;
+    const sim::SimResult r = sim::simulate(proj, cfg);
+    std::cout << "  mode " << k - 1 << " -> " << k << ": " << r.jobs_released << " jobs, "
+              << r.mode_switches << " episodes, " << r.misses.size()
+              << " misses, worst dwell " << TextTable::num(r.max_hi_dwell(), 1) << " ms\n";
+    if (r.deadline_missed()) return 1;
+  }
+  std::cout << "\nEvery escalation level is certified and executes cleanly; the\n"
+               "system always returns to mode 0 and nominal speed at the first idle\n"
+               "instant.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "cache/waymodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "core/speedup.hpp"
+
+namespace rbs {
+
+WcetCurve::WcetCurve(std::vector<Ticks> wcet_by_ways) : wcet_by_ways_(std::move(wcet_by_ways)) {
+  if (wcet_by_ways_.empty()) throw std::invalid_argument("empty WCET curve");
+  for (std::size_t w = 0; w < wcet_by_ways_.size(); ++w) {
+    if (wcet_by_ways_[w] < 1) throw std::invalid_argument("WCET curve must be >= 1 tick");
+    if (w > 0 && wcet_by_ways_[w] > wcet_by_ways_[w - 1])
+      throw std::invalid_argument("WCET curve must be non-increasing in ways");
+  }
+}
+
+WcetCurve WcetCurve::exponential(Ticks base, double overhead, double half_life, int max_ways) {
+  if (base < 1 || overhead < 0.0 || half_life <= 0.0 || max_ways < 0)
+    throw std::invalid_argument("bad exponential curve parameters");
+  std::vector<Ticks> table;
+  table.reserve(static_cast<std::size_t>(max_ways) + 1);
+  for (int w = 0; w <= max_ways; ++w) {
+    const double factor = 1.0 + overhead * std::exp2(-static_cast<double>(w) / half_life);
+    table.push_back(std::max<Ticks>(
+        1, static_cast<Ticks>(std::ceil(static_cast<double>(base) * factor))));
+  }
+  return WcetCurve(std::move(table));
+}
+
+Ticks WcetCurve::at(int ways) const {
+  if (ways < 0) ways = 0;
+  const auto index = std::min<std::size_t>(static_cast<std::size_t>(ways),
+                                           wcet_by_ways_.size() - 1);
+  return wcet_by_ways_[index];
+}
+
+int allocated_ways(const WayAllocation& allocation) {
+  return std::accumulate(allocation.begin(), allocation.end(), 0);
+}
+
+TaskSet materialize_cache_set(const std::vector<CacheTaskSpec>& specs,
+                              const WayAllocation& a_lo, const WayAllocation& a_hi,
+                              double x) {
+  if (a_lo.size() != specs.size() || a_hi.size() != specs.size())
+    throw std::invalid_argument("allocation size must match task count");
+  std::vector<McTask> tasks;
+  tasks.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const CacheTaskSpec& spec = specs[i];
+    const Ticks c_lo = std::min(spec.lo_curve.at(a_lo[i]), spec.period);
+    if (spec.criticality == Criticality::HI) {
+      // The HI-mode partition may only grow a HI task's share (see header).
+      const int hi_ways = std::max(a_lo[i], a_hi[i]);
+      const Ticks c_hi =
+          std::clamp(spec.hi_curve.at(hi_ways), c_lo, spec.period);
+      const Ticks d_lo = std::clamp(
+          static_cast<Ticks>(std::floor(x * static_cast<double>(spec.period))), c_lo,
+          spec.period);
+      tasks.push_back(McTask::hi(spec.name, c_lo, c_hi, d_lo, spec.period, spec.period));
+    } else {
+      tasks.push_back(McTask::lo_terminated(spec.name, c_lo, spec.period, spec.period));
+    }
+  }
+  return TaskSet(std::move(tasks));
+}
+
+CachePlanResult greedy_hi_allocation(const std::vector<CacheTaskSpec>& specs,
+                                     const WayAllocation& a_lo, int total_ways, double x) {
+  if (allocated_ways(a_lo) > total_ways)
+    throw std::invalid_argument("LO-mode allocation exceeds the cache");
+
+  // HI tasks start from their LO-mode share; the pool is everything else.
+  WayAllocation a_hi(specs.size(), 0);
+  int pool = total_ways;
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (specs[i].criticality == Criticality::HI) {
+      a_hi[i] = a_lo[i];
+      pool -= a_lo[i];
+    }
+
+  CachePlanResult best{a_hi, 0.0, materialize_cache_set(specs, a_lo, a_hi, x)};
+  best.s_min = min_speedup_value(best.set);
+
+  while (pool > 0) {
+    std::optional<std::size_t> winner;
+    double winner_s = best.s_min;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].criticality != Criticality::HI) continue;
+      WayAllocation candidate = best.hi_allocation;
+      candidate[i] += 1;
+      const TaskSet set = materialize_cache_set(specs, a_lo, candidate, x);
+      const double s = min_speedup_value(set);
+      if (s < winner_s - 1e-12) {
+        winner_s = s;
+        winner = i;
+      }
+    }
+    if (!winner) break;  // no remaining way reduces the required speedup
+    best.hi_allocation[*winner] += 1;
+    best.s_min = winner_s;
+    best.set = materialize_cache_set(specs, a_lo, best.hi_allocation, x);
+    --pool;
+  }
+  return best;
+}
+
+}  // namespace rbs

@@ -1,0 +1,89 @@
+// Dynamic cache partitioning & locking (DCPL) as an adaptation knob.
+//
+// The paper's contribution section names *two* routine platform features
+// that can aid mixed-criticality scheduling -- DVFS (solved in the paper)
+// and "dynamic cache partitioning and locking (DCPL)" [10] -- and solves
+// only the DVFS instance. This module is the proof of concept for the other
+// knob: at the mode switch, reassign the cache ways freed by
+// degraded/terminated LO tasks to the HI tasks, shrinking their effective
+// HI-mode WCETs, which reduces (or removes) the processor speedup required.
+//
+// Model: each task has a measured, non-increasing WCET-vs-ways curve per
+// criticality level. A *cache plan* fixes the LO-mode partition (determines
+// every C(LO) and the baseline C(HI)) and the HI-mode partition over HI
+// tasks only. The induced dual-criticality task set feeds the unchanged
+// analyses of Sections III-IV; greedy_hi_allocation searches the HI-mode
+// partition minimising Theorem 2's s_min.
+//
+// Conservatism note: a carry-over job may have executed part of its work
+// under the LO-mode partition; using the HI-curve WCET at the HI-mode
+// allocation for the *whole* job is only safe when the curve is
+// non-increasing in ways and the HI allocation is no smaller than the LO
+// one -- which materialize_cache_set enforces (C(HI) is additionally
+// clamped to >= C(LO) as Eq. (1) requires).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace rbs {
+
+/// WCET as a function of owned cache ways; index w = ways, non-increasing.
+class WcetCurve {
+ public:
+  WcetCurve() = default;
+  /// wcet_by_ways[w] for w = 0..W; throws if empty, non-positive or increasing.
+  explicit WcetCurve(std::vector<Ticks> wcet_by_ways);
+
+  /// Synthetic curve: wcet(w) = base * (1 + overhead * 2^(-w / half_life)),
+  /// rounded up; the classic diminishing-returns shape of way-locking
+  /// studies. `ways` entries beyond the table saturate at the last value.
+  static WcetCurve exponential(Ticks base, double overhead, double half_life, int max_ways);
+
+  Ticks at(int ways) const;
+  int max_ways() const { return static_cast<int>(wcet_by_ways_.size()) - 1; }
+
+ private:
+  std::vector<Ticks> wcet_by_ways_;
+};
+
+/// One task with cache-dependent WCETs (implicit deadline, like Section V).
+struct CacheTaskSpec {
+  std::string name;
+  Criticality criticality = Criticality::LO;
+  Ticks period = 0;
+  WcetCurve lo_curve;  ///< optimistic WCET vs ways
+  WcetCurve hi_curve;  ///< certified WCET vs ways (HI tasks; >= lo pointwise)
+};
+
+/// ways[i] owned by task i; a partition of at most `total_ways`.
+using WayAllocation = std::vector<int>;
+
+/// Sum of an allocation.
+int allocated_ways(const WayAllocation& allocation);
+
+/// Builds the dual-criticality set induced by a cache plan:
+///   C_i(LO) = lo_curve(a_lo[i]) for every task;
+///   C_i(HI) = max(C_i(LO), hi_curve(max(a_lo[i], a_hi[i]))) for HI tasks;
+///   LO tasks are terminated in HI mode (their ways are what a_hi hands to
+///   the HI tasks) and HI deadlines are implicit, D(LO) = floor(x*T).
+TaskSet materialize_cache_set(const std::vector<CacheTaskSpec>& specs,
+                              const WayAllocation& a_lo, const WayAllocation& a_hi,
+                              double x);
+
+struct CachePlanResult {
+  WayAllocation hi_allocation;  ///< chosen HI-mode ways per task (0 for LO tasks)
+  double s_min = 0.0;           ///< required speedup under that plan
+  TaskSet set;                  ///< the materialised set
+};
+
+/// Greedy HI-mode reallocation: starting from the LO-mode partition, hand
+/// the ways freed by the (terminated) LO tasks to HI tasks one by one,
+/// always to the task giving the largest drop in s_min; stops when no way
+/// helps. `x` is the common overrun-preparation factor.
+CachePlanResult greedy_hi_allocation(const std::vector<CacheTaskSpec>& specs,
+                                     const WayAllocation& a_lo, int total_ways, double x);
+
+}  // namespace rbs

@@ -1,0 +1,71 @@
+#include "core/adb.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rbs {
+
+namespace {
+
+Ticks residual_demand(const McTask& task, Ticks w) {
+  if (w < 0) return 0;
+  const Ticks c_lo = task.wcet(Mode::LO);
+  const Ticks c_hi = task.wcet(Mode::HI);
+  return std::min(w, c_lo) + (c_hi - c_lo);
+}
+
+}  // namespace
+
+Ticks adb_hi(const McTask& task, Ticks delta, bool discard_dropped_carryover) {
+  assert(delta >= 0 && delta < kInfTicks);
+  if (task.dropped_in_hi())
+    return discard_dropped_carryover ? 0 : task.wcet(Mode::LO);
+  const Ticks t = task.period(Mode::HI);
+  const Ticks gap = t - task.deadline(Mode::LO);  // T(HI) - D(LO) of Eq. (9)
+  const Ticks q = delta / t;
+  const Ticks rho = delta % t;
+  return residual_demand(task, rho - gap) + (q + 1) * task.wcet(Mode::HI);
+}
+
+Ticks adb_hi_left(const McTask& task, Ticks delta, bool discard_dropped_carryover) {
+  assert(delta >= 1 && delta < kInfTicks);
+  if (task.dropped_in_hi())
+    return discard_dropped_carryover ? 0 : task.wcet(Mode::LO);
+  const Ticks t = task.period(Mode::HI);
+  const Ticks gap = t - task.deadline(Mode::LO);
+  Ticks q = delta / t;
+  Ticks rho = delta % t;
+  if (rho == 0) {
+    --q;
+    rho = t;
+  }
+  const Ticks w = rho - gap;
+  const Ticks r = (w <= 0) ? 0 : residual_demand(task, w);
+  return r + (q + 1) * task.wcet(Mode::HI);
+}
+
+Ticks adb_hi_total(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
+  Ticks sum = 0;
+  for (const McTask& t : set) sum += adb_hi(t, delta, discard_dropped_carryover);
+  return sum;
+}
+
+Ticks adb_hi_total_left(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
+  Ticks sum = 0;
+  for (const McTask& t : set) sum += adb_hi_left(t, delta, discard_dropped_carryover);
+  return sum;
+}
+
+std::vector<ArithSeq> adb_hi_breakpoints(const McTask& task) {
+  if (task.dropped_in_hi()) return {};
+  const Ticks t = task.period(Mode::HI);
+  const Ticks gap = t - task.deadline(Mode::LO);
+  std::vector<ArithSeq> seqs;
+  seqs.push_back({0, t});
+  if (gap > 0 && gap < t) seqs.push_back({gap, t});
+  const Ticks ramp_end = gap + task.wcet(Mode::LO);
+  if (ramp_end > 0 && ramp_end < t) seqs.push_back({ramp_end, t});
+  return seqs;
+}
+
+}  // namespace rbs

@@ -1,0 +1,44 @@
+// AMC-rtb: Adaptive Mixed Criticality response-time analysis, the standard
+// *fixed-priority* counterpart of the paper's EDF setting (Baruah, Burns,
+// Davis, "Response-Time Analysis for Mixed Criticality Systems", RTSS 2011).
+//
+// Included as a second baseline: bench_baselines compares the acceptance
+// ratio of {EDF demand-bound (+ speedup), EDF-VD, AMC-rtb} on the same
+// workloads. AMC drops LO tasks at the mode switch and runs fixed priorities
+// (deadline-monotonic here, optimal for constrained deadlines among DM-style
+// assignments):
+//
+//   LO mode:  R_i = C_i(LO) + sum_{j in hp(i)}      ceil(R_i/T_j) C_j(LO)
+//   HI mode:  R_i = C_i(HI) + sum_{j in hpH(i)}     ceil(R_i/T_j) C_j(HI)
+//                          + sum_{k in hpL(i)} ceil(R_i^LO/T_k) C_k(LO)
+//
+// schedulable iff every response time converges within the deadline
+// (LO-mode deadlines D(LO) for the LO-mode pass -- with implicit deadlines,
+// D = T -- and D(HI) for the HI-mode pass of HI tasks).
+#pragma once
+
+#include <optional>
+
+#include "core/closed_form.hpp"
+
+namespace rbs {
+
+struct AmcResult {
+  bool schedulable = false;
+  /// First task (by priority order) whose response time diverged or missed,
+  /// when not schedulable; empty otherwise.
+  std::string failing_task;
+};
+
+/// AMC-rtb schedulability of an implicit-deadline skeleton under
+/// deadline-monotonic (= rate-monotonic here) priorities.
+AmcResult amc_rtb_schedulable(const ImplicitSet& set);
+
+/// Fixed-priority response time by recurrence; nullopt when it exceeds
+/// `bound` (non-convergence). Exposed for testing.
+/// `demands[j]` and `periods[j]` describe the interfering tasks (j < n),
+/// `own` the task under analysis.
+std::optional<Ticks> response_time_recurrence(Ticks own, const std::vector<Ticks>& demands,
+                                              const std::vector<Ticks>& periods, Ticks bound);
+
+}  // namespace rbs

@@ -1,0 +1,61 @@
+// Streaming enumeration of breakpoints of piecewise-linear demand functions.
+//
+// DBF_HI (Lemma 1) and ADB_HI (Theorem 4) are piecewise-linear in the
+// interval length with breakpoints on a finite union of arithmetic sequences
+// (window starts k*T, ramp starts k*T + g, ramp ends k*T + g + C(LO)). The
+// pseudo-polynomial algorithms of Sections III/IV walk these breakpoints in
+// increasing order without materialising them, which keeps memory O(#tasks)
+// even when the stopping bound is large.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rbs {
+
+/// The arithmetic sequence start, start + period, start + 2*period, ...
+/// A zero period denotes the singleton {start}.
+struct ArithSeq {
+  Ticks start = 0;
+  Ticks period = 0;
+};
+
+/// Merges several arithmetic sequences into one strictly increasing stream.
+class BreakpointMerger {
+ public:
+  explicit BreakpointMerger(const std::vector<ArithSeq>& seqs) {
+    for (const ArithSeq& s : seqs) {
+      if (s.start >= kInfTicks) continue;  // sequences of dropped tasks
+      heap_.push(s);
+    }
+  }
+
+  /// Next breakpoint strictly greater than all previously returned ones, or
+  /// nullopt when all sequences are exhausted (only possible with singletons).
+  std::optional<Ticks> next() {
+    while (!heap_.empty()) {
+      ArithSeq top = heap_.top();
+      heap_.pop();
+      if (top.period > 0 && top.start < kInfTicks - top.period)
+        heap_.push({top.start + top.period, top.period});
+      if (top.start > last_) {
+        last_ = top.start;
+        return top.start;
+      }
+      // duplicate of an already-emitted point: skip
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const ArithSeq& a, const ArithSeq& b) const { return a.start > b.start; }
+  };
+  std::priority_queue<ArithSeq, std::vector<ArithSeq>, Later> heap_;
+  Ticks last_ = -1;  // breakpoints are non-negative
+};
+
+}  // namespace rbs

@@ -1,0 +1,90 @@
+#include "core/dbf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rbs {
+
+namespace {
+
+// r(tau_i, delta, w) of Eq. (6) given the already-computed w value.
+Ticks residual_demand(const McTask& task, Ticks w) {
+  if (w < 0) return 0;
+  const Ticks c_lo = task.wcet(Mode::LO);
+  const Ticks c_hi = task.wcet(Mode::HI);
+  return std::min(w, c_lo) + (c_hi - c_lo);
+}
+
+}  // namespace
+
+Ticks dbf_lo(const McTask& task, Ticks delta) {
+  assert(delta >= 0 && delta < kInfTicks);
+  const Ticks d = task.deadline(Mode::LO);
+  const Ticks t = task.period(Mode::LO);
+  if (delta < d) return 0;
+  return ((delta - d) / t + 1) * task.wcet(Mode::LO);
+}
+
+Ticks dbf_hi(const McTask& task, Ticks delta) {
+  assert(delta >= 0 && delta < kInfTicks);
+  if (task.dropped_in_hi()) return 0;
+  const Ticks t = task.period(Mode::HI);
+  const Ticks g = task.deadline_extension();  // D(HI) - D(LO) >= 0
+  const Ticks q = delta / t;
+  const Ticks rho = delta % t;  // (delta mod T(HI)) of Eq. (5)
+  return residual_demand(task, rho - g) + q * task.wcet(Mode::HI);
+}
+
+Ticks dbf_hi_left(const McTask& task, Ticks delta) {
+  assert(delta >= 1 && delta < kInfTicks);
+  if (task.dropped_in_hi()) return 0;
+  const Ticks t = task.period(Mode::HI);
+  const Ticks g = task.deadline_extension();
+  Ticks q = delta / t;
+  Ticks rho = delta % t;
+  if (rho == 0) {  // approach delta from inside the previous window
+    --q;
+    rho = t;
+  }
+  const Ticks w = rho - g;
+  // At w == 0 the function jumps by C(HI)-C(LO); the left limit comes from
+  // the w < 0 side where r == 0.
+  const Ticks r = (w <= 0) ? 0 : residual_demand(task, w);
+  return r + q * task.wcet(Mode::HI);
+}
+
+Ticks dbf_lo_total(const TaskSet& set, Ticks delta) {
+  Ticks sum = 0;
+  for (const McTask& t : set) sum += dbf_lo(t, delta);
+  return sum;
+}
+
+Ticks dbf_hi_total(const TaskSet& set, Ticks delta) {
+  Ticks sum = 0;
+  for (const McTask& t : set) sum += dbf_hi(t, delta);
+  return sum;
+}
+
+Ticks dbf_hi_total_left(const TaskSet& set, Ticks delta) {
+  Ticks sum = 0;
+  for (const McTask& t : set) sum += dbf_hi_left(t, delta);
+  return sum;
+}
+
+std::vector<ArithSeq> dbf_hi_breakpoints(const McTask& task) {
+  if (task.dropped_in_hi()) return {};
+  const Ticks t = task.period(Mode::HI);
+  const Ticks g = task.deadline_extension();
+  std::vector<ArithSeq> seqs;
+  seqs.push_back({0, t});  // window starts: the floor(delta/T) jumps
+  if (g > 0 && g < t) seqs.push_back({g, t});
+  const Ticks ramp_end = g + task.wcet(Mode::LO);
+  if (ramp_end > 0 && ramp_end < t) seqs.push_back({ramp_end, t});
+  return seqs;
+}
+
+ArithSeq dbf_lo_breakpoints(const McTask& task) {
+  return {task.deadline(Mode::LO), task.period(Mode::LO)};
+}
+
+}  // namespace rbs

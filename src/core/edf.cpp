@@ -1,0 +1,74 @@
+#include "core/edf.hpp"
+
+#include "core/breakpoints.hpp"
+#include "core/dbf.hpp"
+
+namespace rbs {
+
+EdfTestResult lo_mode_test(const TaskSet& set, const EdfTestOptions& options) {
+  EdfTestResult result;
+  if (set.empty()) {
+    result.schedulable = true;
+    return result;
+  }
+
+  const double u = set.total_utilization(Mode::LO);
+  // DBF_LO(tau_i, D) <= U_i * D + U_i * (T_i - D_i), so demand can exceed
+  // speed * D only below bound_slack / (speed - U).
+  double bound_slack = 0.0;
+  for (const McTask& t : set)
+    bound_slack += t.utilization(Mode::LO) *
+                   static_cast<double>(t.period(Mode::LO) - t.deadline(Mode::LO));
+
+  if (u > options.speed) {
+    result.schedulable = false;
+    result.violation_delta = 0;  // asymptotic overload; no single witness point
+    return result;
+  }
+
+  Ticks delta_max;
+  if (u < options.speed) {
+    delta_max = static_cast<Ticks>(bound_slack / (options.speed - u)) + 1;
+  } else {
+    // U == speed exactly: the bound degenerates. With implicit deadlines
+    // (bound_slack == 0) demand never exceeds supply; otherwise fall back to
+    // the breakpoint budget and report inconclusive if it is exhausted.
+    if (bound_slack == 0.0) {
+      result.schedulable = true;
+      return result;
+    }
+    delta_max = kInfTicks - 1;
+  }
+
+  std::vector<ArithSeq> seqs;
+  seqs.reserve(set.size());
+  for (const McTask& t : set) seqs.push_back(dbf_lo_breakpoints(t));
+  BreakpointMerger merger(seqs);
+
+  while (auto d = merger.next()) {
+    if (*d > delta_max) break;
+    if (++result.breakpoints_visited > options.max_breakpoints) {
+      result.schedulable = false;
+      result.conclusive = false;
+      return result;
+    }
+    const Ticks demand = dbf_lo_total(set, *d);
+    const long double supply =
+        static_cast<long double>(options.speed) * static_cast<long double>(*d);
+    if (static_cast<long double>(demand) > supply) {
+      result.schedulable = false;
+      result.violation_delta = *d;
+      return result;
+    }
+  }
+  result.schedulable = true;
+  return result;
+}
+
+bool lo_mode_schedulable(const TaskSet& set, double speed) {
+  EdfTestOptions options;
+  options.speed = speed;
+  return lo_mode_test(set, options).schedulable;
+}
+
+}  // namespace rbs

@@ -1,0 +1,169 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/adb.hpp"
+#include "core/breakpoints.hpp"
+#include "core/dbf.hpp"
+
+namespace rbs {
+
+namespace {
+
+// Required boost at interval length delta (> latency), given total demand.
+double required_boost(double demand, double delta, double latency) {
+  return 1.0 + std::max(0.0, demand - delta) / (delta - latency);
+}
+
+}  // namespace
+
+LatencySpeedupResult min_speedup_with_latency(const TaskSet& set, Ticks latency) {
+  assert(latency >= 0);
+  LatencySpeedupResult result;
+  if (set.empty()) return result;
+
+  // Demand at Delta = 0 needs infinite speed regardless of latency.
+  if (dbf_hi_total(set, 0) > 0) {
+    result.s_min = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  const double u_hi = set.total_utilization(Mode::HI);
+  const double k = static_cast<double>(set.total_hi_wcet());
+  const auto lat = static_cast<double>(latency);
+
+  // Hyperperiod stop (see speedup.cpp; the mediant argument carries over).
+  Ticks hyperperiod = 1;
+  for (const McTask& t : set) {
+    if (t.dropped_in_hi()) continue;
+    const Ticks period = t.period(Mode::HI);
+    const Ticks gcd = std::gcd(hyperperiod, period);
+    if (hyperperiod / gcd > kInfTicks / period) {
+      hyperperiod = kInfTicks;
+      break;
+    }
+    hyperperiod = hyperperiod / gcd * period;
+  }
+
+  double best = std::max(1.0, u_hi);
+  Ticks argmax = 0;
+
+  std::vector<ArithSeq> seqs;
+  for (const McTask& t : set)
+    for (const ArithSeq& s : dbf_hi_breakpoints(t)) seqs.push_back(s);
+  BreakpointMerger merger(seqs);
+
+  std::size_t visited = 0;
+  while (auto d = merger.next()) {
+    if (*d == 0) continue;
+    if (*d > hyperperiod + latency) break;
+    const auto delta = static_cast<double>(*d);
+    const auto demand = static_cast<double>(dbf_hi_total(set, *d));
+    const auto demand_left = static_cast<double>(dbf_hi_total_left(set, *d));
+    if (*d <= latency) {
+      // Nominal-speed feasibility inside the window: the demand (piecewise
+      // linear with slopes possibly > 1) may cross the supply line Delta at
+      // a value or just before a jump -- both are breakpoint-checked.
+      if (demand > delta || demand_left > delta) {
+        result.s_min = std::numeric_limits<double>::infinity();
+        result.argmax = *d;
+        return result;
+      }
+      continue;
+    }
+    // Envelope for all Delta' >= Delta: demand <= U*Delta' + K gives
+    //   required <= 1 + (U-1)*Delta'/(Delta'-L) + K/(Delta'-L)  (U >= 1)
+    //   required <= 1 + K/(Delta'-L)                            (U <  1)
+    // both decreasing in Delta', so evaluating at Delta bounds the tail.
+    const double envelope =
+        u_hi >= 1.0
+            ? 1.0 + (u_hi - 1.0) * delta / (delta - lat) + k / (delta - lat)
+            : 1.0 + k / (delta - lat);
+    if (++visited > 20'000'000) {
+      result.exact = false;
+      result.error_bound = std::max(0.0, envelope - best);
+      break;
+    }
+    const double cand = std::max(required_boost(demand, delta, lat),
+                                 required_boost(demand_left, delta, lat));
+    if (cand > best) {
+      best = cand;
+      argmax = *d;
+    }
+    if (envelope <= best) break;
+  }
+
+  result.s_min = best;
+  result.argmax = argmax;
+  return result;
+}
+
+double resetting_time_with_latency(const TaskSet& set, double s, Ticks latency) {
+  assert(s >= 1.0);
+  assert(latency >= 0);
+  if (set.empty()) return 0.0;
+
+  const double u_hi = set.total_utilization(Mode::HI);
+  if (s <= u_hi) return std::numeric_limits<double>::infinity();
+
+  const auto lat = static_cast<double>(latency);
+  const auto supply = [&](long double delta) -> long double {
+    return delta + std::max(0.0L, delta - static_cast<long double>(lat)) *
+                       static_cast<long double>(s - 1.0);
+  };
+
+  std::vector<ArithSeq> seqs;
+  for (const McTask& t : set)
+    for (const ArithSeq& q : adb_hi_breakpoints(t)) seqs.push_back(q);
+  seqs.push_back({latency, 0});  // the supply kink is a breakpoint too
+  BreakpointMerger merger(seqs);
+
+  Ticks prev = 0;
+  long double value_at_prev = static_cast<long double>(adb_hi_total(set, 0));
+  if (value_at_prev <= 0) return 0.0;
+
+  auto next = merger.next();
+  if (next && *next == 0) next = merger.next();
+
+  std::size_t visited = 0;
+  while (true) {
+    if (++visited > 20'000'000) return std::numeric_limits<double>::infinity();
+    if (value_at_prev <= supply(prev)) return static_cast<double>(prev);
+
+    if (!next) {  // constant demand beyond prev (all tasks dropped)
+      // Solve value = supply(Delta) on the final piece: before the kink the
+      // supply is Delta itself, past it Delta*s - L*(s-1).
+      if (value_at_prev <= static_cast<long double>(lat))
+        return static_cast<double>(value_at_prev);
+      return static_cast<double>(
+          (value_at_prev + static_cast<long double>((s - 1.0) * lat)) /
+          static_cast<long double>(s));
+    }
+
+    const Ticks b = *next;
+    const long double left_limit = static_cast<long double>(adb_hi_total_left(set, b));
+    const long double demand_slope =
+        (left_limit - value_at_prev) / static_cast<long double>(b - prev);
+    const long double supply_slope = prev >= latency ? static_cast<long double>(s) : 1.0L;
+
+    if (supply_slope > demand_slope) {
+      // value_at_prev + m*(D - prev) = supply(prev) + slope*(D - prev)
+      const long double gap = value_at_prev - supply(prev);
+      const long double crossing =
+          static_cast<long double>(prev) + gap / (supply_slope - demand_slope);
+      if (crossing >= static_cast<long double>(prev) && crossing < static_cast<long double>(b))
+        return static_cast<double>(crossing);
+    }
+
+    value_at_prev = static_cast<long double>(adb_hi_total(set, b));
+    prev = b;
+    next = merger.next();
+  }
+}
+
+}  // namespace rbs

@@ -1,0 +1,76 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/edf.hpp"
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+
+namespace rbs {
+
+namespace {
+
+// Feasibility of one core's task collection under the per-core budgets.
+bool core_feasible(const std::vector<McTask>& tasks, const PartitionOptions& options) {
+  const TaskSet core(tasks);
+  if (!lo_mode_schedulable(core)) return false;
+  if (!hi_mode_schedulable(core, options.hi_speedup)) return false;
+  if (std::isfinite(options.max_reset) &&
+      resetting_time_value(core, options.hi_speedup) > options.max_reset)
+    return false;
+  return true;
+}
+
+}  // namespace
+
+PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
+                                    const PartitionOptions& options) {
+  PartitionResult result;
+  if (cores == 0) return result;
+  result.assignment.assign(cores, {});
+  std::vector<std::vector<McTask>> bins(cores);
+
+  std::vector<std::size_t> order(set.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.decreasing) {
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double wa = set[a].utilization(Mode::LO) + set[a].utilization(Mode::HI);
+      const double wb = set[b].utilization(Mode::LO) + set[b].utilization(Mode::HI);
+      return wa > wb;
+    });
+  }
+
+  for (std::size_t index : order) {
+    bool placed = false;
+    for (std::size_t c = 0; c < cores && !placed; ++c) {
+      bins[c].push_back(set[index]);
+      if (core_feasible(bins[c], options)) {
+        result.assignment[c].push_back(index);
+        placed = true;
+      } else {
+        bins[c].pop_back();
+      }
+    }
+    if (!placed) {
+      result.rejected_task = index;
+      return result;
+    }
+  }
+
+  result.feasible = true;
+  result.core_s_min.reserve(cores);
+  for (const auto& bin : bins)
+    result.core_s_min.push_back(bin.empty() ? 0.0 : min_speedup_value(TaskSet(bin)));
+  return result;
+}
+
+std::optional<std::size_t> cores_needed(const TaskSet& set, std::size_t max_cores,
+                                        const PartitionOptions& options) {
+  for (std::size_t m = 1; m <= max_cores; ++m)
+    if (partition_first_fit(set, m, options).feasible) return m;
+  return std::nullopt;
+}
+
+}  // namespace rbs

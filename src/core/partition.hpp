@@ -1,0 +1,53 @@
+// Partitioned multiprocessor extension.
+//
+// The paper treats a uniprocessor; the natural deployment on a multicore
+// (its "consolidation" motivation) is partitioned scheduling: assign tasks
+// to cores and run the paper's protocol independently per core, each core
+// speeding up on its own overruns. A core accepts a task iff the core's set
+// remains (a) LO-mode schedulable at nominal speed, (b) HI-mode schedulable
+// within the per-core speedup budget s (Theorem 2), and (c) back to nominal
+// within the reset budget (Corollary 5).
+//
+// First-fit decreasing (by LO+HI utilization) is the standard bin-packing
+// heuristic for this feasibility predicate.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace rbs {
+
+struct PartitionOptions {
+  /// Per-core HI-mode speedup budget (the DVFS ceiling of each core).
+  double hi_speedup = 2.0;
+  /// Per-core resetting-time budget at hi_speedup, in ticks (thermal limit).
+  double max_reset = std::numeric_limits<double>::infinity();
+  /// Sort tasks by decreasing utilization before packing (first-fit
+  /// decreasing); false keeps the input order (plain first-fit).
+  bool decreasing = true;
+};
+
+struct PartitionResult {
+  bool feasible = false;
+  /// assignment[c] lists input indices of the tasks placed on core c.
+  std::vector<std::vector<std::size_t>> assignment;
+  /// Required speedup of each core's final set.
+  std::vector<double> core_s_min;
+  /// Index of the first task that fit nowhere (when infeasible).
+  std::optional<std::size_t> rejected_task;
+};
+
+/// First-fit (decreasing) partitioning of `set` onto `cores` cores.
+PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
+                                    const PartitionOptions& options = {});
+
+/// Smallest number of cores (<= max_cores) for which partitioning succeeds;
+/// nullopt if even max_cores fails.
+std::optional<std::size_t> cores_needed(const TaskSet& set, std::size_t max_cores,
+                                        const PartitionOptions& options = {});
+
+}  // namespace rbs

@@ -1,0 +1,84 @@
+#include "core/reset.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "core/adb.hpp"
+#include "core/breakpoints.hpp"
+
+namespace rbs {
+
+ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& options) {
+  assert(s > 0.0);
+  ResetResult result;
+  if (set.empty()) return result;  // Delta_R = 0: nothing ever arrives
+
+  const bool discard = options.discard_dropped_carryover;
+  const long double speed = s;
+
+  // ADB_HI grows asymptotically at rate U_HI; the supply s*Delta can only
+  // catch up when s > U_HI.
+  const double u_hi = set.total_utilization(Mode::HI);
+  if (s <= u_hi) {
+    result.delta_r = std::numeric_limits<double>::infinity();
+    return result;
+  }
+
+  std::vector<ArithSeq> seqs;
+  for (const McTask& t : set)
+    for (const ArithSeq& q : adb_hi_breakpoints(t)) seqs.push_back(q);
+  BreakpointMerger merger(seqs);
+
+  Ticks prev = 0;
+  long double value_at_prev = static_cast<long double>(adb_hi_total(set, 0, discard));
+  if (value_at_prev <= 0) return result;  // all carry-over discarded, no demand
+
+  // Consume the leading 0 breakpoint, if any.
+  auto next = merger.next();
+  if (next && *next == 0) next = merger.next();
+
+  while (true) {
+    if (++result.breakpoints_visited > options.max_breakpoints) {
+      result.delta_r = std::numeric_limits<double>::infinity();
+      result.exact = false;
+      return result;
+    }
+
+    // Condition already met at the segment start?
+    if (value_at_prev <= speed * static_cast<long double>(prev)) {
+      result.delta_r = static_cast<double>(prev);
+      return result;
+    }
+
+    if (!next) {
+      // No further breakpoints: demand is constant beyond `prev` (possible
+      // when every task is dropped). The supply line crosses at value / s.
+      result.delta_r = static_cast<double>(value_at_prev / speed);
+      return result;
+    }
+
+    const Ticks b = *next;
+    const long double left_limit = static_cast<long double>(adb_hi_total_left(set, b, discard));
+    const long double slope = (left_limit - value_at_prev) / static_cast<long double>(b - prev);
+
+    // Crossing inside (prev, b): value_at_prev + slope*(Delta - prev) = s*Delta.
+    if (speed > slope) {
+      const long double crossing =
+          (value_at_prev - slope * static_cast<long double>(prev)) / (speed - slope);
+      if (crossing >= static_cast<long double>(prev) && crossing < static_cast<long double>(b)) {
+        result.delta_r = static_cast<double>(crossing);
+        return result;
+      }
+    }
+
+    value_at_prev = static_cast<long double>(adb_hi_total(set, b, discard));
+    prev = b;
+    next = merger.next();
+  }
+}
+
+double resetting_time_value(const TaskSet& set, double s) {
+  return resetting_time(set, s).delta_r;
+}
+
+}  // namespace rbs

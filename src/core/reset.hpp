@@ -1,0 +1,46 @@
+// Service resetting time under processor speedup (Section IV, Corollary 5).
+//
+//   Delta_R = min{ Delta >= 0 : sum_i ADB_HI(tau_i, Delta) <= s * Delta }  (12)
+//
+// i.e. the first instant after the mode switch by which, at speed s, the
+// processor must have caught up with every demand that can have arrived --
+// the worst-case time until the first idle instant, at which the runtime
+// safely switches back to LO mode and nominal speed.
+//
+// The total arrived demand is piecewise linear and non-decreasing, so the
+// solver walks its breakpoints and solves the crossing with the supply line
+// s * Delta exactly on each linear segment. The result is finite iff
+// s > U_HI (the HI-mode utilization); otherwise +inf is returned.
+#pragma once
+
+#include <cstddef>
+
+#include "core/task.hpp"
+
+namespace rbs {
+
+struct ResetOptions {
+  /// Model a runtime that aborts the carry-over job of a terminated LO task
+  /// at the mode switch instead of letting it finish (ablation; the paper's
+  /// Eq. 10 corresponds to false).
+  bool discard_dropped_carryover = false;
+  /// Hard cap on examined breakpoints.
+  std::size_t max_breakpoints = 20'000'000;
+};
+
+struct ResetResult {
+  /// Delta_R in ticks; +inf when s <= U_HI or the budget was exhausted.
+  double delta_r = 0.0;
+  /// False only when max_breakpoints was exhausted (delta_r then +inf,
+  /// conservatively).
+  bool exact = true;
+  std::size_t breakpoints_visited = 0;
+};
+
+/// Computes Delta_R per Corollary 5 for HI-mode speedup factor `s` (> 0).
+ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& options = {});
+
+/// Convenience wrapper returning only the bound (ticks).
+double resetting_time_value(const TaskSet& set, double s);
+
+}  // namespace rbs

@@ -1,0 +1,98 @@
+#include "core/speedup.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "core/breakpoints.hpp"
+#include "core/dbf.hpp"
+#include "core/edf.hpp"
+
+namespace rbs {
+
+SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options) {
+  SpeedupResult result;
+  if (set.empty()) return result;
+
+  // Eq. (8) allows Delta = 0: positive demand in a zero-length interval
+  // requires infinite speedup.
+  if (dbf_hi_total(set, 0) > 0) {
+    result.s_min = std::numeric_limits<double>::infinity();
+    result.argmax = 0;
+    return result;
+  }
+
+  // The Delta -> inf limit of demand/Delta is the HI-mode utilization.
+  const double u_hi = set.total_utilization(Mode::HI);
+  const double k = static_cast<double>(set.total_hi_wcet());  // DBF_HI <= U*Delta + K
+
+  double best = u_hi;
+  Ticks argmax = 0;
+
+  // DBF_HI(delta + T(HI)) = DBF_HI(delta) + C(HI) per task, so the total
+  // demand repeats (shifted by U*H) every hyperperiod H = lcm T_i(HI); the
+  // mediant inequality then confines the supremum to (0, H] -- enumeration
+  // past H would only revisit dominated ratios.
+  Ticks hyperperiod = 1;
+  for (const McTask& t : set) {
+    if (t.dropped_in_hi()) continue;
+    const Ticks period = t.period(Mode::HI);
+    const Ticks gcd = std::gcd(hyperperiod, period);
+    if (hyperperiod / gcd > kInfTicks / period) {
+      hyperperiod = kInfTicks;  // overflow: fall back to the envelope rules
+      break;
+    }
+    hyperperiod = hyperperiod / gcd * period;
+  }
+
+  std::vector<ArithSeq> seqs;
+  for (const McTask& t : set)
+    for (const ArithSeq& s : dbf_hi_breakpoints(t)) seqs.push_back(s);
+  BreakpointMerger merger(seqs);
+
+  while (auto d = merger.next()) {
+    if (*d == 0) continue;  // handled above
+    if (*d > hyperperiod) break;  // supremum settled exactly (see above)
+    if (++result.breakpoints_visited > options.max_breakpoints) {
+      result.exact = false;
+      result.error_bound = (u_hi + k / static_cast<double>(*d)) - best;
+      break;
+    }
+    const double delta = static_cast<double>(*d);
+    const double ratio_right = static_cast<double>(dbf_hi_total(set, *d)) / delta;
+    const double ratio_left = static_cast<double>(dbf_hi_total_left(set, *d)) / delta;
+    if (ratio_right > best) {
+      best = ratio_right;
+      argmax = *d;
+    }
+    if (ratio_left > best) {
+      best = ratio_left;
+      argmax = *d;
+    }
+    // Beyond Delta, demand/Delta <= U + K/Delta; once that envelope drops to
+    // the best ratio seen, the supremum is settled.
+    const double slack = (u_hi + k / delta) - best;
+    if (slack <= 0) break;
+    if (slack <= options.rel_tol * best) {
+      result.exact = false;
+      result.error_bound = slack;
+      break;
+    }
+  }
+
+  result.s_min = best;
+  result.argmax = argmax;
+  return result;
+}
+
+double min_speedup_value(const TaskSet& set) { return min_speedup(set).s_min; }
+
+bool hi_mode_schedulable(const TaskSet& set, double s) {
+  const SpeedupResult r = min_speedup(set);
+  return r.exact ? r.s_min <= s : r.s_min + r.error_bound <= s;
+}
+
+bool system_schedulable(const TaskSet& set, double s) {
+  return lo_mode_schedulable(set) && hi_mode_schedulable(set, s);
+}
+
+}  // namespace rbs

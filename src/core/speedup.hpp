@@ -1,0 +1,63 @@
+// Minimum HI-mode processor speedup (Section III, Theorem 2).
+//
+//   s_min = sup_{Delta >= 0}  ( sum_i DBF_HI(tau_i, Delta) ) / Delta     (8)
+//
+// The total HI-mode demand is piecewise linear with breakpoints on finitely
+// many arithmetic sequences, and on each linear piece the ratio demand/Delta
+// is monotone, so the supremum is attained at a breakpoint (evaluating both
+// the right value and the left limit). The search stops exactly once the
+// global envelope DBF_HI <= U_HI * Delta + K (K = sum of C_i(HI)) proves that
+// no later interval can beat the best ratio found -- the "pseudo-polynomial
+// time" argument the paper defers to its technical report.
+//
+// Special cases:
+//   * demand at Delta = 0 positive (a HI task whose LO-mode deadline was not
+//     shortened, see the discussion after Theorem 2)  =>  s_min = +inf;
+//   * the supremum can be below 1: the system may *slow down* in HI mode when
+//     service degradation sheds enough load (Example 1).
+#pragma once
+
+#include <cstddef>
+
+#include "core/task.hpp"
+
+namespace rbs {
+
+struct SpeedupOptions {
+  /// Hard cap on examined breakpoints; exceeded only by adversarial inputs.
+  std::size_t max_breakpoints = 20'000'000;
+  /// Secondary stopping rule: when the remaining uncertainty
+  /// (U + K/Delta) - best drops below rel_tol * best the search stops and
+  /// reports the (tiny) residual via `error_bound`. Needed because the exact
+  /// rule cannot fire when the supremum *equals* the utilization limit.
+  double rel_tol = 1e-9;
+};
+
+struct SpeedupResult {
+  /// The minimum speedup factor (Eq. 8); +inf when Delta=0 demand is positive.
+  double s_min = 0.0;
+  /// True when the stopping rule proved s_min optimal (always, unless the
+  /// breakpoint budget was exhausted).
+  bool exact = true;
+  /// When !exact: the true s_min lies in [s_min, s_min + error_bound].
+  double error_bound = 0.0;
+  /// Interval length attaining the supremum (0 when the Delta->inf limit,
+  /// i.e. the HI-mode utilization, dominates).
+  Ticks argmax = 0;
+  std::size_t breakpoints_visited = 0;
+};
+
+/// Computes s_min per Theorem 2.
+SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options = {});
+
+/// Convenience wrapper returning only the factor.
+double min_speedup_value(const TaskSet& set);
+
+/// True iff HI mode is schedulable at speedup factor `s` (i.e. s >= s_min).
+bool hi_mode_schedulable(const TaskSet& set, double s);
+
+/// Full mixed-criticality schedulability: LO mode schedulable at unit speed
+/// and HI mode schedulable at speedup `s`.
+bool system_schedulable(const TaskSet& set, double s);
+
+}  // namespace rbs

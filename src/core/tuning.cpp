@@ -1,0 +1,190 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/dbf.hpp"
+#include "core/edf.hpp"
+#include "core/speedup.hpp"
+
+namespace rbs {
+
+MinXResult min_x_for_lo(const ImplicitSet& set, double tolerance) {
+  MinXResult result;
+  // The LO-mode test ignores HI-mode parameters, so materialise with y = 1.
+  auto schedulable_at = [&](double x) {
+    return lo_mode_schedulable(set.materialize(x, 1.0));
+  };
+  if (!schedulable_at(1.0)) return result;  // infeasible even with full deadlines
+
+  result.feasible = true;
+  double lo = 0.0;  // known-infeasible (deadlines collapse onto C(LO))
+  double hi = 1.0;  // known-feasible
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (schedulable_at(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  result.x = hi;
+  return result;
+}
+
+namespace {
+
+// Greedy objective: primarily s_min; while s_min is infinite (several HI
+// tasks still have D(LO) == D(HI)), break ties by the residual demand at
+// Delta = 0, so the greedy keeps shortening deadlines until the infinity
+// clears instead of stalling (no single-task step can fix s_min = inf when
+// more than one task is unprepared).
+struct Objective {
+  double s_min;
+  Ticks demand_at_zero;
+
+  bool better_than(const Objective& other) const {
+    const bool inf_a = std::isinf(s_min);
+    const bool inf_b = std::isinf(other.s_min);
+    if (inf_a != inf_b) return inf_b;
+    if (inf_a && inf_b) return demand_at_zero < other.demand_at_zero;
+    return s_min < other.s_min - 1e-12;
+  }
+};
+
+Objective evaluate(const TaskSet& set) {
+  return {min_speedup_value(set), dbf_hi_total(set, 0)};
+}
+
+}  // namespace
+
+std::optional<double> min_y_for_speedup(const ImplicitSet& set, double x, double s_max,
+                                        double tolerance, double y_max) {
+  auto ok = [&](double y) { return min_speedup_value(set.materialize(x, y)) <= s_max; };
+  // Even unbounded degradation cannot beat termination; use it as the
+  // feasibility oracle (dropped LO tasks contribute no HI-mode demand).
+  if (min_speedup_value(set.materialize_terminating(x)) > s_max) return std::nullopt;
+  if (ok(1.0)) return 1.0;
+  if (!ok(y_max)) return std::nullopt;  // saturation needs more than y_max
+  double lo = 1.0, hi = y_max;          // !ok(lo), ok(hi)
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (ok(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+DegradeResult degrade_lo_services(TaskSet set, double s_max, double y_cap, int max_iters) {
+  DegradeResult result{std::move(set), false, 0.0, 0.0};
+  result.s_min = min_speedup_value(result.set);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    if (result.s_min <= s_max) {
+      result.feasible = true;
+      break;
+    }
+    // Candidate step per LO task: stretch T(HI) and D(HI) by ~12.5% of T(LO)
+    // (at least one tick), capped at y_cap * T(LO).
+    std::optional<std::size_t> best_task;
+    Ticks best_period = 0, best_deadline = 0;
+    double best_s = result.s_min;
+
+    for (std::size_t i = 0; i < result.set.size(); ++i) {
+      const McTask& t = result.set[i];
+      if (t.is_hi() || t.dropped_in_hi()) continue;
+      const Ticks t_lo = t.period(Mode::LO);
+      const Ticks cap = static_cast<Ticks>(y_cap * static_cast<double>(t_lo));
+      if (t.period(Mode::HI) >= cap) continue;
+      const Ticks step = std::max<Ticks>(1, t_lo / 8);
+      const Ticks new_period = std::min(cap, t.period(Mode::HI) + step);
+      const Ticks new_deadline = std::max(t.deadline(Mode::HI), new_period);
+
+      std::vector<McTask> tasks = result.set.tasks();
+      tasks[i].set_hi_service(new_deadline, new_period);
+      TaskSet candidate(std::move(tasks));
+      const double s = min_speedup_value(candidate);
+      if (s < best_s - 1e-12) {
+        best_s = s;
+        best_task = i;
+        best_period = new_period;
+        best_deadline = new_deadline;
+      }
+    }
+
+    if (!best_task) break;  // no stretch helps any more
+    std::vector<McTask> tasks = result.set.tasks();
+    tasks[*best_task].set_hi_service(best_deadline, best_period);
+    result.set = TaskSet(std::move(tasks));
+    result.s_min = best_s;
+  }
+
+  result.feasible = result.s_min <= s_max;
+  for (const McTask& t : result.set)
+    if (!t.is_hi() && !t.dropped_in_hi())
+      result.total_stretch += static_cast<double>(t.period(Mode::HI)) /
+                                  static_cast<double>(t.period(Mode::LO)) -
+                              1.0;
+  return result;
+}
+
+MinXResult utilization_min_x(const ImplicitSet& set) {
+  MinXResult result;
+  const double u_lo_lo = set.u_lo_lo();
+  double u_hi_lo = 0.0;
+  for (const ImplicitTask& t : set.tasks())
+    if (t.criticality == Criticality::HI) u_hi_lo += t.u_lo();
+  if (u_lo_lo >= 1.0) return result;
+  const double x = u_hi_lo / (1.0 - u_lo_lo);
+  if (x > 1.0) return result;
+  result.feasible = true;
+  result.x = x;
+  return result;
+}
+
+TightenResult tighten_lo_deadlines(TaskSet set, int max_iters) {
+  Objective current = evaluate(set);
+  TightenResult result{std::move(set), current.s_min, 0};
+  if (!lo_mode_schedulable(result.set)) return result;
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::optional<std::size_t> best_task;
+    Ticks best_deadline = 0;
+    Objective best = current;
+
+    for (std::size_t i = 0; i < result.set.size(); ++i) {
+      const McTask& t = result.set[i];
+      if (!t.is_hi()) continue;
+      const Ticks now = t.deadline(Mode::LO);
+      const Ticks floor_d = t.wcet(Mode::LO);
+      if (now <= floor_d) continue;
+      // A coarse geometric step for fast descent plus a single-tick step so
+      // the greedy can fine-tune near a local optimum.
+      const Ticks coarse = std::max<Ticks>(1, (now - floor_d) / 4);
+      for (Ticks step : {coarse, Ticks{1}}) {
+        const Ticks candidate_deadline = now - step;
+        std::vector<McTask> tasks = result.set.tasks();
+        tasks[i].set_lo_deadline(candidate_deadline);
+        TaskSet candidate(std::move(tasks));
+        if (!lo_mode_schedulable(candidate)) continue;
+        const Objective obj = evaluate(candidate);
+        if (obj.better_than(best)) {
+          best = obj;
+          best_task = i;
+          best_deadline = candidate_deadline;
+        }
+        if (step == 1) break;  // avoid evaluating the same step twice
+      }
+    }
+
+    if (!best_task) break;  // local optimum
+    std::vector<McTask> tasks = result.set.tasks();
+    tasks[*best_task].set_lo_deadline(best_deadline);
+    result.set = TaskSet(std::move(tasks));
+    current = best;
+    result.s_min = best.s_min;
+    result.iterations = iter + 1;
+  }
+  return result;
+}
+
+}  // namespace rbs

@@ -1,0 +1,41 @@
+// Fundamental types of the analysis library.
+//
+// All task parameters (periods, deadlines, execution times) are integer
+// *ticks* (`rbs::Ticks`). A model chooses its own tick unit -- the FMS model
+// uses 1 tick = 1 ms, the synthetic generator 1 tick = 0.1 ms. Keeping the
+// parameters integral makes every demand-bound evaluation exact; only derived
+// quantities (speedup factors, resetting times) are floating point, computed
+// from exact integer breakpoints.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace rbs {
+
+/// Time and accumulated work, in integer ticks.
+using Ticks = std::int64_t;
+
+/// Sentinel for an unbounded parameter. The paper encodes the *termination*
+/// of a LO task in HI mode as T(HI) = D(HI) = +inf (Eq. 3). The sentinel is
+/// kept far below INT64_MAX so sums of a handful of parameters cannot
+/// overflow; any value at or above it is treated as infinite.
+inline constexpr Ticks kInfTicks = std::numeric_limits<Ticks>::max() / 8;
+
+/// True if a tick value denotes "+inf" (see kInfTicks).
+constexpr bool is_inf(Ticks t) { return t >= kInfTicks; }
+
+/// Task criticality level. The paper studies dual-criticality systems.
+enum class Criticality : std::uint8_t { LO, HI };
+
+/// System operation mode of the mode-switch protocol (Section II).
+enum class Mode : std::uint8_t { LO, HI };
+
+constexpr std::string_view to_string(Criticality chi) {
+  return chi == Criticality::LO ? "LO" : "HI";
+}
+
+constexpr std::string_view to_string(Mode mode) { return mode == Mode::LO ? "LO" : "HI"; }
+
+}  // namespace rbs

@@ -1,0 +1,54 @@
+#include "gen/fms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbs {
+
+ImplicitSet fms_task_set(double gamma) {
+  // Periods span the published 100 ms .. 5 s range; LO-mode utilizations are
+  // moderate (total 0.588) so the set is LO-mode schedulable at unit speed,
+  // as the industrial system necessarily was.
+  struct Skeleton {
+    const char* name;
+    Criticality crit;
+    Ticks period;  // ms
+    Ticks c_lo;    // ms
+  };
+  static constexpr Skeleton kSkeletons[] = {
+      // 7 DO-178B level-B (HI) tasks
+      {"guidance", Criticality::HI, 100, 5},
+      {"nav_update", Criticality::HI, 200, 10},
+      {"traj_pred", Criticality::HI, 250, 12},
+      {"fuel_mgmt", Criticality::HI, 500, 30},
+      {"perf_calc", Criticality::HI, 1000, 60},
+      {"route_plan", Criticality::HI, 2000, 100},
+      {"db_lookup", Criticality::HI, 5000, 250},
+      // 4 level-C (LO) tasks
+      {"display", Criticality::LO, 100, 6},
+      {"datalink", Criticality::LO, 500, 30},
+      {"logging", Criticality::LO, 1000, 50},
+      {"maintenance", Criticality::LO, 5000, 250},
+  };
+
+  std::vector<ImplicitTask> tasks;
+  tasks.reserve(std::size(kSkeletons));
+  for (const Skeleton& s : kSkeletons) {
+    ImplicitTask t;
+    t.name = s.name;
+    t.criticality = s.crit;
+    t.period = s.period;
+    t.c_lo = s.c_lo;
+    if (s.crit == Criticality::HI) {
+      t.c_hi = std::clamp(
+          static_cast<Ticks>(std::llround(gamma * static_cast<double>(s.c_lo))), s.c_lo,
+          s.period);
+    } else {
+      t.c_hi = s.c_lo;
+    }
+    tasks.push_back(t);
+  }
+  return ImplicitSet(std::move(tasks));
+}
+
+}  // namespace rbs

@@ -1,0 +1,56 @@
+// The paper's worked example (Table I, Examples 1-4).
+//
+// The numeric cells of Table I were lost in the available rendering of the
+// paper; tools/find_table1.cpp searched the small-integer parameter space for
+// sets consistent with every number the prose reports:
+//
+//   * s_min = 4/3 without service degradation            (Example 1)
+//   * s_min = 12/13 ~= 0.92 with D2(HI)=15, T2(HI)=20    (Example 1)
+//   * Delta_R = 6 at s = 2 without degradation           (Example 2)
+//   * LO-mode schedulable at unit speed
+//
+// This reconstruction is one of the hits (the one with genuine WCET
+// uncertainty C(HI) > C(LO) on the HI task):
+//
+//   tau |  chi | C(LO) C(HI) | D(LO) D(HI) | T(LO) T(HI)
+//   ----+------+-------------+-------------+------------
+//   1   |  HI  |   3     5   |   4     7   |   7     7
+//   2   |  LO  |   2     2   |   5     5   |  15    15     (base)
+//   2   |  LO  |   2     2   |   5    15   |  15    20     (degraded)
+#pragma once
+
+#include "core/closed_form.hpp"
+#include "core/task.hpp"
+
+namespace rbs {
+
+/// Table I with tau2 keeping its original service in HI mode (Example 1's
+/// first case; s_min = 4/3).
+inline TaskSet table1_base() {
+  return TaskSet({
+      McTask::hi("tau1", /*c_lo=*/3, /*c_hi=*/5, /*lo_deadline=*/4, /*deadline=*/7,
+                 /*period=*/7),
+      McTask::lo("tau2", /*c=*/2, /*deadline=*/5, /*period=*/15),
+  });
+}
+
+/// Table I with tau2 degraded to D2(HI)=15, T2(HI)=20 (Example 1's second
+/// case; s_min = 12/13 ~= 0.92: the system may even slow down).
+inline TaskSet table1_degraded() {
+  return TaskSet({
+      McTask::hi("tau1", 3, 5, 4, 7, 7),
+      McTask::lo("tau2", 2, 5, 15, /*hi_deadline=*/15, /*hi_period=*/20),
+  });
+}
+
+/// The Table I skeleton in implicit-deadline normal form, used by Examples
+/// 3-4 / Fig. 4 ("task parameters are now modified according to (13) and
+/// (14)"). Only {T, C(LO), C(HI), chi} survive; deadlines are set by (x, y).
+inline ImplicitSet table1_implicit() {
+  return ImplicitSet({
+      {"tau1", Criticality::HI, 7, 3, 5},
+      {"tau2", Criticality::LO, 15, 2, 2},
+  });
+}
+
+}  // namespace rbs

@@ -1,0 +1,145 @@
+#include "gen/taskgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace rbs {
+
+namespace {
+
+ImplicitTask draw_task(Rng& rng, Ticks period_min, Ticks period_max, double u_lo_min,
+                       double u_lo_max, double gamma_min, double gamma_max, double p_hi,
+                       bool log_uniform, int index) {
+  ImplicitTask t;
+  t.period = log_uniform ? rng.log_uniform_ticks(period_min, period_max)
+                         : rng.uniform_int(period_min, period_max);
+  const double u_lo = rng.uniform(u_lo_min, u_lo_max);
+  t.c_lo = std::max<Ticks>(
+      1, static_cast<Ticks>(std::llround(u_lo * static_cast<double>(t.period))));
+  t.c_lo = std::min(t.c_lo, t.period);
+  t.criticality = rng.bernoulli(p_hi) ? Criticality::HI : Criticality::LO;
+  if (t.criticality == Criticality::HI) {
+    const double gamma = rng.uniform(gamma_min, gamma_max);
+    t.c_hi = std::clamp(
+        static_cast<Ticks>(std::llround(gamma * static_cast<double>(t.c_lo))), t.c_lo,
+        t.period);
+    t.name = "hi" + std::to_string(index);
+  } else {
+    t.c_hi = t.c_lo;
+    t.name = "lo" + std::to_string(index);
+  }
+  return t;
+}
+
+}  // namespace
+
+double system_utilization(const ImplicitSet& set) {
+  return std::max(set.u_total_lo(), set.u_hi_hi());
+}
+
+std::optional<ImplicitSet> generate_task_set(const GenParams& params, Rng& rng) {
+  std::vector<ImplicitTask> tasks;
+  double u_total_lo = 0.0;
+  double u_hi_hi = 0.0;
+  int redraws = 0;
+  int index = 0;
+
+  while (true) {
+    const ImplicitTask t =
+        draw_task(rng, params.period_min, params.period_max, params.u_lo_min, params.u_lo_max,
+                  params.gamma_min, params.gamma_max, params.p_hi,
+                  params.log_uniform_periods, index);
+    const double new_lo = u_total_lo + t.u_lo();
+    const double new_hi = u_hi_hi + (t.criticality == Criticality::HI ? t.u_hi() : 0.0);
+    const double metric = std::max(new_lo, new_hi);
+
+    if (metric > params.u_bound + params.tolerance) {
+      if (++redraws > params.max_redraws) return std::nullopt;
+      continue;  // overshoot: re-draw this task
+    }
+    tasks.push_back(t);
+    u_total_lo = new_lo;
+    u_hi_hi = new_hi;
+    ++index;
+    if (metric >= params.u_bound - params.tolerance) return ImplicitSet(std::move(tasks));
+  }
+}
+
+std::vector<double> uunifast(int n, double u_total, Rng& rng) {
+  std::vector<double> utilizations;
+  if (n <= 0) return utilizations;
+  utilizations.reserve(static_cast<std::size_t>(n));
+  double remaining = u_total;
+  for (int i = 1; i < n; ++i) {
+    const double next =
+        remaining * std::pow(rng.uniform(0.0, 1.0), 1.0 / static_cast<double>(n - i));
+    utilizations.push_back(remaining - next);
+    remaining = next;
+  }
+  utilizations.push_back(remaining);
+  return utilizations;
+}
+
+ImplicitSet generate_uunifast_set(const UUniFastParams& params, Rng& rng) {
+  const std::vector<double> utils = uunifast(params.n_tasks, params.u_total_lo, rng);
+  std::vector<ImplicitTask> tasks;
+  tasks.reserve(utils.size());
+  int index = 0;
+  for (double u : utils) {
+    ImplicitTask t;
+    t.period = params.log_uniform_periods
+                   ? rng.log_uniform_ticks(params.period_min, params.period_max)
+                   : rng.uniform_int(params.period_min, params.period_max);
+    t.c_lo = std::clamp(
+        static_cast<Ticks>(std::llround(std::min(u, 1.0) * static_cast<double>(t.period))),
+        Ticks{1}, t.period);
+    t.criticality = rng.bernoulli(params.p_hi) ? Criticality::HI : Criticality::LO;
+    if (t.criticality == Criticality::HI) {
+      const double gamma = rng.uniform(params.gamma_min, params.gamma_max);
+      t.c_hi = std::clamp(
+          static_cast<Ticks>(std::llround(gamma * static_cast<double>(t.c_lo))), t.c_lo,
+          t.period);
+      t.name = "hi" + std::to_string(index);
+    } else {
+      t.c_hi = t.c_lo;
+      t.name = "lo" + std::to_string(index);
+    }
+    tasks.push_back(std::move(t));
+    ++index;
+  }
+  return ImplicitSet(std::move(tasks));
+}
+
+std::optional<ImplicitSet> generate_region_set(const RegionParams& params, Rng& rng) {
+  std::vector<ImplicitTask> tasks;
+  int index = 0;
+
+  // Fill one criticality level up to its target, re-drawing overshoots.
+  auto fill = [&](Criticality chi, double target) -> bool {
+    double filled = 0.0;
+    int redraws = 0;
+    while (filled < target - params.tolerance) {
+      const ImplicitTask t = draw_task(
+          rng, params.period_min, params.period_max, params.u_lo_min, params.u_lo_max,
+          params.gamma, params.gamma, /*p_hi=*/chi == Criticality::HI ? 1.0 : 0.0,
+          params.log_uniform_periods, index);
+      const double u = chi == Criticality::HI ? t.u_hi() : t.u_lo();
+      if (filled + u > target + params.tolerance) {
+        if (++redraws > params.max_redraws) return false;
+        continue;
+      }
+      tasks.push_back(t);
+      filled += u;
+      ++index;
+    }
+    return true;
+  };
+
+  if (!fill(Criticality::HI, params.u_hi)) return std::nullopt;
+  if (!fill(Criticality::LO, params.u_lo)) return std::nullopt;
+  return ImplicitSet(std::move(tasks));
+}
+
+}  // namespace rbs

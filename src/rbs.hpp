@@ -1,0 +1,35 @@
+// Umbrella header for the Run-and-Be-Safe analysis library.
+//
+// Reproduction of: P. Huang, P. Kumar, G. Giannopoulou, L. Thiele,
+// "Run and Be Safe: Mixed-Criticality Scheduling with Temporary Processor
+// Speedup", DATE 2015.
+//
+// Typical use:
+//
+//   rbs::TaskSet set({
+//       rbs::McTask::hi("control", /*c_lo=*/2, /*c_hi=*/4, /*d_lo=*/5,
+//                       /*deadline=*/10, /*period=*/10),
+//       rbs::McTask::lo("logging", /*c=*/3, /*deadline=*/12, /*period=*/12),
+//   });
+//   double s_min   = rbs::min_speedup_value(set);          // Theorem 2
+//   double delta_r = rbs::resetting_time_value(set, 2.0);  // Corollary 5
+#pragma once
+
+#include "core/adb.hpp"
+#include "core/amc.hpp"
+#include "core/budget.hpp"
+#include "core/closed_form.hpp"
+#include "core/dbf.hpp"
+#include "core/dvfs.hpp"
+#include "core/edf.hpp"
+#include "core/latency.hpp"
+#include "core/overhead.hpp"
+#include "core/partition.hpp"
+#include "core/qpa.hpp"
+#include "core/reset.hpp"
+#include "core/sensitivity.hpp"
+#include "core/speedup.hpp"
+#include "core/task.hpp"
+#include "core/tuning.hpp"
+#include "core/types.hpp"
+#include "core/vd.hpp"

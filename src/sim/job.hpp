@@ -1,0 +1,28 @@
+// Runtime job representation used by the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rbs::sim {
+
+/// One released job instance.
+struct Job {
+  std::size_t task_index = 0;
+  std::uint64_t id = 0;        ///< globally unique, in release order
+  double release = 0.0;        ///< absolute release time (ticks)
+  double deadline = 0.0;       ///< absolute *current* deadline; updated at the
+                               ///< mode switch (D(LO) -> D(HI)); +inf for the
+                               ///< carry-over job of a terminated LO task
+  double demand = 0.0;         ///< total execution requirement (work ticks)
+  double executed = 0.0;       ///< work done so far
+  bool overruns = false;       ///< demand > C(LO) (only possible for HI tasks)
+  bool miss_recorded = false;  ///< deadline miss already reported
+
+  double remaining() const { return demand - executed; }
+  bool finished(double eps) const { return executed >= demand - eps; }
+};
+
+inline constexpr double kInfTime = std::numeric_limits<double>::infinity();
+
+}  // namespace rbs::sim

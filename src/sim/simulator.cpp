@@ -1,0 +1,409 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "gen/rng.hpp"
+#include "sim/job.hpp"
+
+namespace rbs::sim {
+
+std::string to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRelease: return "release";
+    case TraceEvent::Kind::kCompletion: return "completion";
+    case TraceEvent::Kind::kOverrunTrigger: return "overrun";
+    case TraceEvent::Kind::kModeSwitchHi: return "switch->HI";
+    case TraceEvent::Kind::kReset: return "reset->LO";
+    case TraceEvent::Kind::kDeadlineMiss: return "MISS";
+    case TraceEvent::Kind::kJobAbandoned: return "abandoned";
+    case TraceEvent::Kind::kBudgetFallback: return "budget-fallback";
+  }
+  return "?";
+}
+
+namespace {
+
+// Absolute tolerances; tick magnitudes stay far below 2^40, so doubles keep
+// ~1e-4 tick precision at worst and 1e-6 is a safe comparison slack.
+constexpr double kEpsTime = 1e-6;
+constexpr double kEpsWork = 1e-6;
+
+class Engine {
+ public:
+  Engine(const TaskSet& set, const SimConfig& cfg) : set_(set), cfg_(cfg), rng_(cfg.seed) {}
+
+  SimResult run() {
+    init();
+    double now = 0.0;
+
+    while (now < cfg_.horizon) {
+      Job* running = pick_running();
+      const double t_next = next_event_time(now, running);
+      advance(now, std::min(t_next, cfg_.horizon), running);
+      now = std::min(t_next, cfg_.horizon);
+      if (now >= cfg_.horizon) break;
+      process_events(now);
+    }
+
+    finalize(now);
+    return std::move(result_);
+  }
+
+ private:
+  struct TaskState {
+    double last_release = -kInfTime;
+    double earliest_next_lo = 0.0;  ///< last release + T(LO) * jitter draw
+    double earliest_next_hi = 0.0;  ///< last release + T(HI) * jitter draw
+    std::size_t script_pos = 0;     ///< next entry when arrivals are scripted
+  };
+
+  bool scripted() const { return !cfg_.scripted_arrivals.empty(); }
+
+  void init() {
+    result_ = SimResult{};
+    result_.horizon = cfg_.horizon;
+    result_.task_stats.assign(set_.size(), TaskStats{});
+    states_.assign(set_.size(), TaskState{});
+    for (std::size_t i = 0; i < set_.size(); ++i) {
+      double offset = 0.0;
+      if (cfg_.initial_offset_spread > 0.0)
+        offset = rng_.uniform(0.0, cfg_.initial_offset_spread *
+                                       static_cast<double>(set_[i].period(Mode::LO)));
+      states_[i].earliest_next_lo = offset;
+      states_[i].earliest_next_hi = offset;
+    }
+    jobs_.clear();
+    mode_ = Mode::LO;
+    speed_ = cfg_.lo_speed;
+    hi_since_ = 0.0;
+    prev_job_.reset();
+    next_job_id_ = 0;
+  }
+
+  // ---- scheduling -------------------------------------------------------
+
+  Job* pick_running() {
+    Job* best = nullptr;
+    for (Job& j : jobs_) {
+      if (j.finished(kEpsWork)) continue;
+      if (!best || j.deadline < best->deadline ||
+          (j.deadline == best->deadline &&
+           (j.task_index < best->task_index ||
+            (j.task_index == best->task_index && j.id < best->id))))
+        best = &j;
+    }
+    return best;
+  }
+
+  double release_candidate(std::size_t i, double now) const {
+    const McTask& task = set_[i];
+    if (mode_ == Mode::HI && task.dropped_in_hi()) return kInfTime;
+    if (fallback_active_ && !task.is_hi()) return kInfTime;  // LO terminated
+    double base;
+    if (scripted()) {
+      const auto& script = cfg_.scripted_arrivals[i];
+      if (states_[i].script_pos >= script.size()) return kInfTime;
+      base = script[states_[i].script_pos].release;
+    } else {
+      base = mode_ == Mode::LO ? states_[i].earliest_next_lo : states_[i].earliest_next_hi;
+    }
+    return std::max(base, now);
+  }
+
+  double next_event_time(double now, const Job* running) {
+    double t = cfg_.horizon;
+    for (std::size_t i = 0; i < set_.size(); ++i)
+      t = std::min(t, release_candidate(i, now));
+
+    if (running) {
+      t = std::min(t, now + running->remaining() / speed_);
+      const McTask& task = set_[running->task_index];
+      const auto c_lo = static_cast<double>(task.wcet(Mode::LO));
+      if (mode_ == Mode::LO && task.is_hi() && running->demand > c_lo + kEpsWork &&
+          running->executed < c_lo)
+        t = std::min(t, now + (c_lo - running->executed) / speed_);
+    }
+
+    for (const Job& j : jobs_)
+      if (!j.finished(kEpsWork) && !j.miss_recorded && j.deadline < kInfTime &&
+          j.deadline > now + kEpsTime)
+        t = std::min(t, j.deadline);
+
+    if (mode_ == Mode::HI && !fallback_active_ && cfg_.max_boost_duration > 0.0)
+      t = std::min(t, hi_since_ + cfg_.max_boost_duration);
+
+    if (mode_ == Mode::HI && !fallback_active_ && speed_ != cfg_.hi_speed &&
+        cfg_.speed_change_latency > 0.0)
+      t = std::min(t, hi_since_ + cfg_.speed_change_latency);
+
+    return std::max(t, now);
+  }
+
+  void advance(double now, double until, Job* running) {
+    const double dt = std::max(0.0, until - now);
+    if (dt <= 0.0) return;
+    if (running) {
+      running->executed += dt * speed_;
+      result_.busy_time += dt;
+      if (prev_job_ && *prev_job_ != running->id) ++result_.preemptions;
+      prev_job_ = running->id;
+    }
+    if (cfg_.record_trace) {
+      TraceSegment seg;
+      seg.start = now;
+      seg.end = until;
+      seg.task_index = running ? static_cast<int>(running->task_index) : -1;
+      seg.job_id = running ? running->id : 0;
+      seg.speed = speed_;
+      seg.mode = mode_;
+      auto& segments = result_.trace.segments;
+      if (!segments.empty()) {
+        TraceSegment& last = segments.back();
+        if (last.end == seg.start && last.task_index == seg.task_index &&
+            last.job_id == seg.job_id && last.speed == seg.speed && last.mode == seg.mode) {
+          last.end = seg.end;
+          return;
+        }
+      }
+      segments.push_back(seg);
+    }
+  }
+
+  // ---- event processing (fixed priority: completion & reset, overrun
+  // trigger, releases, deadline checks) -----------------------------------
+
+  void process_events(double now) {
+    // 1. Completions (only the job that just ran can newly finish, but sweep
+    // all jobs: pick_running() skips finished ones by design).
+    std::vector<std::uint64_t> done;
+    for (const Job& j : jobs_)
+      if (j.finished(kEpsWork)) done.push_back(j.id);
+    for (std::uint64_t id : done) {
+      for (Job& j : jobs_)
+        if (j.id == id) {
+          complete(j, now);
+          break;
+        }
+    }
+
+    // 2. Idle instant in HI mode: reset to LO mode and nominal speed.
+    if (mode_ == Mode::HI && active_jobs() == 0) reset(now);
+
+    // 2a. DVFS transition complete: the boost takes effect.
+    if (mode_ == Mode::HI && !fallback_active_ && speed_ != cfg_.hi_speed &&
+        now >= hi_since_ + cfg_.speed_change_latency - kEpsTime)
+      speed_ = cfg_.hi_speed;
+
+    // 2b. Turbo budget exhausted: stop overclocking, terminate LO tasks.
+    if (mode_ == Mode::HI && !fallback_active_ && cfg_.max_boost_duration > 0.0 &&
+        now >= hi_since_ + cfg_.max_boost_duration - kEpsTime)
+      budget_fallback(now);
+
+    // 3. Overrun trigger: a HI job reached its C(LO) budget unfinished.
+    if (mode_ == Mode::LO) {
+      for (Job& j : jobs_) {
+        if (j.finished(kEpsWork)) continue;
+        const McTask& task = set_[j.task_index];
+        if (!task.is_hi()) continue;
+        const auto c_lo = static_cast<double>(task.wcet(Mode::LO));
+        if (j.demand > c_lo + kEpsWork && j.executed >= c_lo - kEpsWork) {
+          record_event(now, TraceEvent::Kind::kOverrunTrigger, j);
+          switch_to_hi(now);
+          break;
+        }
+      }
+    }
+
+    // 4. Releases due now (possibly several tasks at once).
+    for (std::size_t i = 0; i < set_.size(); ++i)
+      if (release_candidate(i, now) <= now + kEpsTime) release(i, now);
+
+    // 5. Deadline misses.
+    for (Job& j : jobs_) {
+      if (j.finished(kEpsWork) || j.miss_recorded) continue;
+      if (j.deadline < kInfTime && j.deadline <= now + kEpsTime) {
+        j.miss_recorded = true;
+        result_.misses.push_back({j.task_index, j.id, j.deadline, mode_});
+        ++result_.task_stats[j.task_index].misses;
+        record_event(now, TraceEvent::Kind::kDeadlineMiss, j);
+      }
+    }
+  }
+
+  std::size_t active_jobs() const {
+    std::size_t n = 0;
+    for (const Job& j : jobs_) n += j.finished(kEpsWork) ? 0 : 1;
+    return n;
+  }
+
+  void complete(Job& job, double now) {
+    record_event(now, TraceEvent::Kind::kCompletion, job);
+    ++result_.jobs_completed;
+    TaskStats& stats = result_.task_stats[job.task_index];
+    ++stats.completed;
+    const double response = now - job.release;
+    stats.max_response = std::max(stats.max_response, response);
+    stats.total_response += response;
+    if (prev_job_ && *prev_job_ == job.id) prev_job_.reset();
+    erase_job(job.id);
+  }
+
+  void erase_job(std::uint64_t id) {
+    std::erase_if(jobs_, [id](const Job& j) { return j.id == id; });
+  }
+
+  void release(std::size_t i, double now) {
+    const McTask& task = set_[i];
+    TaskState& st = states_[i];
+    st.last_release = now;
+    const double jitter =
+        cfg_.release_jitter > 0.0 ? 1.0 + rng_.uniform(0.0, cfg_.release_jitter) : 1.0;
+    st.earliest_next_lo = now + static_cast<double>(task.period(Mode::LO)) * jitter;
+    st.earliest_next_hi = is_inf(task.period(Mode::HI))
+                              ? kInfTime
+                              : now + static_cast<double>(task.period(Mode::HI)) * jitter;
+
+    Job job;
+    job.task_index = i;
+    job.id = next_job_id_++;
+    job.release = now;
+    job.deadline = now + static_cast<double>(task.deadline(mode_));
+    if (scripted()) {
+      job.demand = std::max(1e-9, cfg_.scripted_arrivals[i][st.script_pos].demand);
+      job.overruns = task.is_hi() &&
+                     job.demand > static_cast<double>(task.wcet(Mode::LO)) + kEpsWork;
+      ++st.script_pos;
+    } else {
+      job.demand = sample_demand(task, now, job.overruns);
+    }
+    jobs_.push_back(job);
+    ++result_.jobs_released;
+    ++result_.task_stats[i].released;
+    record_event(now, TraceEvent::Kind::kRelease, job);
+  }
+
+  double sample_demand(const McTask& task, double now, bool& overruns) {
+    const auto c_lo = static_cast<double>(task.wcet(Mode::LO));
+    const auto c_hi = static_cast<double>(task.wcet(Mode::HI));
+    overruns = false;
+    // Burst separation (Section IV remark): no overrun within T_O of the
+    // last switch.
+    const bool separated = cfg_.min_overrun_separation <= 0.0 ||
+                           last_switch_ < 0.0 ||
+                           now - last_switch_ >= cfg_.min_overrun_separation;
+    if (task.is_hi() && c_hi > c_lo && separated &&
+        rng_.bernoulli(cfg_.demand.overrun_probability)) {
+      overruns = true;
+      if (cfg_.demand.overrun_shape == DemandModel::OverrunShape::kFull) return c_hi;
+      // strictly above C(LO): the trigger condition must be reachable
+      const double fraction = std::max(1e-6, rng_.uniform(0.0, 1.0));
+      return c_lo + fraction * (c_hi - c_lo);
+    }
+    const double fraction =
+        cfg_.demand.base_fraction_min >= cfg_.demand.base_fraction_max
+            ? cfg_.demand.base_fraction_max
+            : rng_.uniform(cfg_.demand.base_fraction_min, cfg_.demand.base_fraction_max);
+    return std::max(1e-9, fraction * c_lo);
+  }
+
+  void switch_to_hi(double now) {
+    mode_ = Mode::HI;
+    speed_ = cfg_.speed_change_latency > 0.0 ? cfg_.lo_speed : cfg_.hi_speed;
+    hi_since_ = now;
+    last_switch_ = now;
+    ++result_.mode_switches;
+    record_event(now, TraceEvent::Kind::kModeSwitchHi);
+
+    std::vector<std::uint64_t> abandoned;
+    for (Job& j : jobs_) {
+      if (j.finished(kEpsWork)) continue;
+      const McTask& task = set_[j.task_index];
+      if (task.dropped_in_hi()) {
+        if (cfg_.discard_dropped_carryover) {
+          abandoned.push_back(j.id);
+          record_event(now, TraceEvent::Kind::kJobAbandoned, j);
+        } else {
+          j.deadline = kInfTime;  // must still finish, but carries no deadline
+        }
+      } else {
+        j.deadline = j.release + static_cast<double>(task.deadline(Mode::HI));
+      }
+    }
+    for (std::uint64_t id : abandoned) {
+      erase_job(id);
+      ++result_.jobs_abandoned;
+    }
+  }
+
+  void reset(double now) {
+    result_.hi_dwell_times.push_back(now - hi_since_);
+    mode_ = Mode::LO;
+    speed_ = cfg_.lo_speed;
+    fallback_active_ = false;
+    record_event(now, TraceEvent::Kind::kReset);
+  }
+
+  void budget_fallback(double now) {
+    fallback_active_ = true;
+    speed_ = cfg_.lo_speed;  // overclocking ends here
+    ++result_.budget_fallbacks;
+    record_event(now, TraceEvent::Kind::kBudgetFallback);
+    std::vector<std::uint64_t> abandoned;
+    for (Job& j : jobs_)
+      if (!j.finished(kEpsWork) && !set_[j.task_index].is_hi()) {
+        abandoned.push_back(j.id);
+        record_event(now, TraceEvent::Kind::kJobAbandoned, j);
+      }
+    for (std::uint64_t id : abandoned) {
+      erase_job(id);
+      ++result_.jobs_abandoned;
+    }
+  }
+
+  void finalize(double now) {
+    if (mode_ == Mode::HI) {
+      result_.ended_in_hi_mode = true;
+      (void)now;  // the censored dwell is intentionally not recorded
+    }
+  }
+
+  void record_event(double time, TraceEvent::Kind kind) {
+    if (!cfg_.record_trace) return;
+    result_.trace.events.push_back({time, kind, -1, 0});
+  }
+
+  void record_event(double time, TraceEvent::Kind kind, const Job& job) {
+    if (!cfg_.record_trace) return;
+    result_.trace.events.push_back({time, kind, static_cast<int>(job.task_index), job.id});
+  }
+
+  const TaskSet& set_;
+  const SimConfig& cfg_;
+  Rng rng_;
+
+  std::vector<TaskState> states_;
+  std::vector<Job> jobs_;
+  Mode mode_ = Mode::LO;
+  double speed_ = 1.0;
+  double hi_since_ = 0.0;
+  double last_switch_ = -1.0;  // time of the most recent LO->HI switch
+  bool fallback_active_ = false;
+  std::optional<std::uint64_t> prev_job_;
+  std::uint64_t next_job_id_ = 0;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const TaskSet& set, const SimConfig& config) {
+  assert(config.horizon > 0.0);
+  assert(config.lo_speed > 0.0 && config.hi_speed > 0.0);
+  assert(config.scripted_arrivals.empty() || config.scripted_arrivals.size() == set.size());
+  Engine engine(set, config);
+  return engine.run();
+}
+
+}  // namespace rbs::sim

@@ -1,0 +1,50 @@
+// Execution trace recording (optional; used by examples and debugging).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rbs::sim {
+
+/// A maximal interval during which the processor state was constant.
+struct TraceSegment {
+  double start = 0.0;
+  double end = 0.0;
+  /// Index of the executing task, or -1 for idle time.
+  int task_index = -1;
+  std::uint64_t job_id = 0;
+  double speed = 1.0;
+  Mode mode = Mode::LO;
+};
+
+/// A discrete scheduling event.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kRelease,
+    kCompletion,
+    kOverrunTrigger,  ///< a HI job exceeded C(LO): transition to HI mode
+    kModeSwitchHi,
+    kReset,           ///< idle instant: back to LO mode and nominal speed
+    kDeadlineMiss,
+    kJobAbandoned,    ///< carry-over job of a terminated LO task discarded
+    kBudgetFallback,  ///< turbo budget exhausted: nominal speed, LO tasks
+                      ///< terminated for the rest of the episode
+  };
+  double time = 0.0;
+  Kind kind = Kind::kRelease;
+  int task_index = -1;
+  std::uint64_t job_id = 0;
+};
+
+struct Trace {
+  std::vector<TraceSegment> segments;
+  std::vector<TraceEvent> events;
+};
+
+/// Human-readable name of an event kind.
+std::string to_string(TraceEvent::Kind kind);
+
+}  // namespace rbs::sim

@@ -1,0 +1,69 @@
+#include "sim/trace_io.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace rbs::sim {
+
+namespace {
+
+// Minimal JSON string escaping (task names are identifiers in practice).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trace_json(std::ostream& os, const TaskSet& set, const SimResult& result) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+
+  os << "{\n  \"tasks\": [";
+  for (std::size_t i = 0; i < set.size(); ++i)
+    os << (i ? ", " : "") << '"' << json_escape(set[i].name()) << '"';
+  os << "],\n  \"segments\": [";
+
+  bool first = true;
+  for (const TraceSegment& s : result.trace.segments) {
+    os << (first ? "" : ",") << "\n    {\"start\": " << s.start << ", \"end\": " << s.end
+       << ", \"task\": " << s.task_index << ", \"job\": " << s.job_id
+       << ", \"speed\": " << s.speed << ", \"mode\": \"" << to_string(s.mode) << "\"}";
+    first = false;
+  }
+  os << "\n  ],\n  \"events\": [";
+
+  first = true;
+  for (const TraceEvent& e : result.trace.events) {
+    os << (first ? "" : ",") << "\n    {\"time\": " << e.time << ", \"kind\": \""
+       << to_string(e.kind) << "\", \"task\": " << e.task_index << ", \"job\": " << e.job_id
+       << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"summary\": {"
+     << "\"jobs_released\": " << result.jobs_released
+     << ", \"jobs_completed\": " << result.jobs_completed
+     << ", \"deadline_misses\": " << result.misses.size()
+     << ", \"mode_switches\": " << result.mode_switches
+     << ", \"budget_fallbacks\": " << result.budget_fallbacks
+     << ", \"busy_time\": " << result.busy_time << ", \"horizon\": " << result.horizon
+     << "}\n}\n";
+}
+
+std::string trace_to_json(const TaskSet& set, const SimResult& result) {
+  std::ostringstream os;
+  write_trace_json(os, set, result);
+  return os.str();
+}
+
+}  // namespace rbs::sim

@@ -1,0 +1,30 @@
+// Trace serialisation: dump an executed schedule as JSON for external
+// tooling (plotting, schedule viewers).
+//
+// Format (one object):
+//   {
+//     "tasks":    ["tau1", "tau2", ...],
+//     "segments": [{"start":..,"end":..,"task":..,"job":..,"speed":..,"mode":"LO"}, ...],
+//     "events":   [{"time":..,"kind":"release","task":..,"job":..}, ...],
+//     "summary":  {"jobs_released":.., "deadline_misses":.., "mode_switches":..,
+//                  "budget_fallbacks":.., "busy_time":.., "horizon":..}
+//   }
+// "task" is the index into "tasks" (-1 = idle segment).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/task.hpp"
+#include "sim/metrics.hpp"
+
+namespace rbs::sim {
+
+/// Writes the trace and summary of `result` as JSON to `os`.
+/// `set` provides the task names; it must be the simulated set.
+void write_trace_json(std::ostream& os, const TaskSet& set, const SimResult& result);
+
+/// Convenience: serialise into a string.
+std::string trace_to_json(const TaskSet& set, const SimResult& result);
+
+}  // namespace rbs::sim

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag`. Unknown flags
+// are collected so binaries can warn instead of silently ignoring typos.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rbs {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was given (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were parsed; used to report unknown options.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rbs

@@ -1,0 +1,42 @@
+#include "support/csv.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace rbs {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quoting = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  if (!out_) return;
+  std::ostringstream line;
+  line.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+}
+
+}  // namespace rbs

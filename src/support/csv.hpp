@@ -1,0 +1,33 @@
+// Minimal CSV writer so every bench can optionally dump its series for
+// external plotting (`--csv <dir>`).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rbs {
+
+/// Writes RFC-4180-ish CSV (values containing commas/quotes/newlines are
+/// quoted). The file is created on construction and flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports failure instead of throwing so
+  /// benches can degrade gracefully when the directory does not exist.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: doubles are written with max_digits10 precision.
+  void write_row_numeric(const std::vector<double>& values);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Quotes a single CSV cell if needed.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace rbs

@@ -1,0 +1,69 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbs {
+
+namespace {
+
+// Percentile of an already-sorted sample.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> sample, double p) {
+  std::sort(sample.begin(), sample.end());
+  return sorted_percentile(sample, p);
+}
+
+double mean(const std::vector<double>& sample) {
+  if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double median(std::vector<double> sample) { return percentile(std::move(sample), 50.0); }
+
+BoxWhisker box_whisker(std::vector<double> sample) {
+  BoxWhisker box;
+  box.count = sample.size();
+  std::erase_if(sample, [](double v) { return !std::isfinite(v); });
+  if (sample.empty()) return box;
+  std::sort(sample.begin(), sample.end());
+
+  box.min = sample.front();
+  box.max = sample.back();
+  box.q1 = sorted_percentile(sample, 25.0);
+  box.median = sorted_percentile(sample, 50.0);
+  box.q3 = sorted_percentile(sample, 75.0);
+  box.mean = mean(sample);
+
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+
+  box.whisker_lo = box.max;  // will be lowered below
+  box.whisker_hi = box.min;
+  for (double v : sample) {
+    if (v >= lo_fence && v <= hi_fence) {
+      box.whisker_lo = std::min(box.whisker_lo, v);
+      box.whisker_hi = std::max(box.whisker_hi, v);
+    } else {
+      box.outliers.push_back(v);
+    }
+  }
+  return box;
+}
+
+}  // namespace rbs

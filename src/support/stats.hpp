@@ -1,0 +1,46 @@
+// Descriptive statistics helpers used by the benchmark harnesses.
+//
+// The paper reports box-whisker plots (Fig. 6a/6c), medians (Fig. 6b/6d) and
+// percentiles ("the 50th percentile value of processor speedup is only 1.4"),
+// so we provide exactly those summaries.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rbs {
+
+/// Five-number summary plus mean and outliers, as drawn in a box-whisker plot.
+///
+/// Whiskers follow the Tukey convention: they extend to the most extreme data
+/// point within 1.5 * IQR of the nearest quartile; points beyond are outliers.
+struct BoxWhisker {
+  std::size_t count = 0;
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double q1 = std::numeric_limits<double>::quiet_NaN();
+  double median = std::numeric_limits<double>::quiet_NaN();
+  double q3 = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
+  double whisker_lo = std::numeric_limits<double>::quiet_NaN();
+  double whisker_hi = std::numeric_limits<double>::quiet_NaN();
+  double mean = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> outliers;
+};
+
+/// Linear-interpolation percentile (same convention as numpy's default).
+/// `p` is in [0, 100]. Returns NaN for an empty sample.
+double percentile(std::vector<double> sample, double p);
+
+/// Arithmetic mean; NaN for an empty sample.
+double mean(const std::vector<double>& sample);
+
+/// Sample median; NaN for an empty sample.
+double median(std::vector<double> sample);
+
+/// Full box-whisker summary of a sample (finite values only; +inf entries are
+/// reported via `count` but excluded from the quartiles -- callers that care
+/// about infeasible cases should filter beforehand).
+BoxWhisker box_whisker(std::vector<double> sample);
+
+}  // namespace rbs

@@ -1,0 +1,55 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rbs {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  if (std::isinf(value)) {
+    os << (value > 0 ? "inf" : "-inf");
+  } else if (std::isnan(value)) {
+    os << "n/a";
+  } else {
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+  }
+  return os.str();
+}
+
+std::string TextTable::num(long long value) { return std::to_string(value); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < width.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace rbs

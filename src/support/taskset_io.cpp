@@ -1,0 +1,124 @@
+#include "support/taskset_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace rbs {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(trim(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(trim(current));
+  return fields;
+}
+
+// Parses a tick value; "inf" (any case) maps to the sentinel.
+bool parse_ticks(const std::string& field, Ticks& out) {
+  std::string lower = field;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "inf" || lower == "+inf" || lower == "infinity") {
+    out = kInfTicks;
+    return true;
+  }
+  const auto* first = field.data();
+  const auto* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && out >= 0;
+}
+
+}  // namespace
+
+std::variant<TaskSet, ParseError> read_task_set(std::istream& in) {
+  std::vector<McTask> tasks;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+
+    const std::vector<std::string> fields = split_fields(line);
+    if (fields.size() != 8)
+      return ParseError{line_no, "expected 8 fields (name, crit, C(LO), C(HI), D(LO), "
+                                 "D(HI), T(LO), T(HI)), got " +
+                                     std::to_string(fields.size())};
+    const std::string& name = fields[0];
+    if (name.empty()) return ParseError{line_no, "empty task name"};
+
+    std::string crit = fields[1];
+    std::transform(crit.begin(), crit.end(), crit.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (crit != "HI" && crit != "LO")
+      return ParseError{line_no, "criticality must be HI or LO, got '" + fields[1] + "'"};
+
+    Ticks v[6];
+    static const char* kFieldNames[] = {"C(LO)", "C(HI)", "D(LO)", "D(HI)", "T(LO)", "T(HI)"};
+    for (int i = 0; i < 6; ++i)
+      if (!parse_ticks(fields[static_cast<std::size_t>(i) + 2], v[i]))
+        return ParseError{line_no, std::string("cannot parse ") + kFieldNames[i] + ": '" +
+                                       fields[static_cast<std::size_t>(i) + 2] + "'"};
+    const Ticks c_lo = v[0], c_hi = v[1], d_lo = v[2], d_hi = v[3], t_lo = v[4], t_hi = v[5];
+
+    McTask task = crit == "HI" ? McTask::hi(name, c_lo, c_hi, d_lo, d_hi, t_lo)
+                               : McTask::lo(name, c_lo, d_lo, t_lo, d_hi, t_hi);
+    if (crit == "HI" && t_hi != t_lo)
+      return ParseError{line_no, "HI task must have T(HI) = T(LO) (Eq. 1)"};
+    if (crit == "LO" && c_hi != c_lo)
+      return ParseError{line_no, "LO task must have C(HI) = C(LO) (Eq. 2)"};
+    const std::vector<std::string> issues = task.validate();
+    if (!issues.empty()) return ParseError{line_no, issues.front()};
+    tasks.push_back(std::move(task));
+  }
+  if (!in.eof() && in.fail()) return ParseError{0, "stream read failure"};
+  return TaskSet(std::move(tasks));
+}
+
+std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return ParseError{0, "cannot open '" + path + "'"};
+  return read_task_set(in);
+}
+
+void write_task_set(std::ostream& out, const TaskSet& set) {
+  out << "# name, crit, C(LO), C(HI), D(LO), D(HI), T(LO), T(HI)\n";
+  auto tick = [](Ticks t) { return is_inf(t) ? std::string("inf") : std::to_string(t); };
+  for (const McTask& t : set) {
+    out << t.name() << ", " << to_string(t.criticality()) << ", " << tick(t.wcet(Mode::LO))
+        << ", " << tick(t.wcet(Mode::HI)) << ", " << tick(t.deadline(Mode::LO)) << ", "
+        << tick(t.deadline(Mode::HI)) << ", " << tick(t.period(Mode::LO)) << ", "
+        << tick(t.period(Mode::HI)) << "\n";
+  }
+}
+
+bool write_task_set_file(const std::string& path, const TaskSet& set) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_task_set(out, set);
+  return true;
+}
+
+}  // namespace rbs

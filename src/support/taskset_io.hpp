@@ -1,0 +1,41 @@
+// Reading and writing task sets as plain text, so the CLI tools can operate
+// on externally supplied workloads.
+//
+// Format: one task per line, comma-separated,
+//
+//     # name, crit, C(LO), C(HI), D(LO), D(HI), T(LO), T(HI)
+//     guidance, HI, 5, 10, 50, 100, 100, 100
+//     logging,  LO, 50, 50, 1000, inf, 1000, inf
+//
+// '#' starts a comment; blank lines are ignored; "inf" in D(HI)/T(HI) of a
+// LO task encodes termination (Eq. 3). Parsing validates the model
+// constraints of Section II and reports precise line/field diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "core/task.hpp"
+
+namespace rbs {
+
+struct ParseError {
+  int line = 0;          ///< 1-based line number (0 = file-level problem)
+  std::string message;
+};
+
+/// Parses a task set from a stream; returns either the set or the first
+/// error encountered.
+std::variant<TaskSet, ParseError> read_task_set(std::istream& in);
+
+/// Parses a task set from a file path.
+std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path);
+
+/// Writes `set` in the same format (round-trips through read_task_set).
+void write_task_set(std::ostream& out, const TaskSet& set);
+
+/// Writes to a file; returns false if the file cannot be opened.
+bool write_task_set_file(const std::string& path, const TaskSet& set);
+
+}  // namespace rbs

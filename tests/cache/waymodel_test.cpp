@@ -1,0 +1,139 @@
+// Tests for the DCPL cache-way model.
+#include "cache/waymodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/edf.hpp"
+#include "core/speedup.hpp"
+
+namespace rbs {
+namespace {
+
+std::vector<CacheTaskSpec> demo_specs(int max_ways) {
+  // Two cache-sensitive HI tasks plus two LO tasks.
+  std::vector<CacheTaskSpec> specs;
+  specs.push_back({"h1", Criticality::HI, 100,
+                   WcetCurve::exponential(8, 1.0, 2.0, max_ways),
+                   WcetCurve::exponential(20, 1.0, 2.0, max_ways)});
+  specs.push_back({"h2", Criticality::HI, 150,
+                   WcetCurve::exponential(12, 1.5, 2.0, max_ways),
+                   WcetCurve::exponential(30, 1.5, 2.0, max_ways)});
+  specs.push_back({"l1", Criticality::LO, 120,
+                   WcetCurve::exponential(20, 0.5, 2.0, max_ways), {}});
+  specs.push_back({"l2", Criticality::LO, 200,
+                   WcetCurve::exponential(30, 0.5, 2.0, max_ways), {}});
+  return specs;
+}
+
+TEST(WcetCurveTest, TableLookupAndSaturation) {
+  const WcetCurve curve(std::vector<Ticks>{10, 8, 7, 7});
+  EXPECT_EQ(curve.at(0), 10);
+  EXPECT_EQ(curve.at(2), 7);
+  EXPECT_EQ(curve.at(99), 7);   // saturates at the last entry
+  EXPECT_EQ(curve.at(-3), 10);  // negative clamps to zero ways
+  EXPECT_EQ(curve.max_ways(), 3);
+}
+
+TEST(WcetCurveTest, RejectsIllFormedCurves) {
+  EXPECT_THROW(WcetCurve(std::vector<Ticks>{}), std::invalid_argument);
+  EXPECT_THROW(WcetCurve(std::vector<Ticks>{5, 6}), std::invalid_argument);  // increasing
+  EXPECT_THROW(WcetCurve(std::vector<Ticks>{0}), std::invalid_argument);
+}
+
+TEST(WcetCurveTest, ExponentialShape) {
+  const WcetCurve c = WcetCurve::exponential(10, 1.0, 2.0, 8);
+  EXPECT_EQ(c.at(0), 20);  // base * (1 + 1.0)
+  EXPECT_GT(c.at(0), c.at(4));
+  EXPECT_GE(c.at(4), c.at(8));
+  EXPECT_GE(c.at(8), 10);  // never below base
+}
+
+TEST(MaterializeCacheTest, BuildsValidTerminationSet) {
+  const auto specs = demo_specs(8);
+  const WayAllocation a_lo{2, 2, 2, 2};
+  const WayAllocation a_hi{4, 4, 0, 0};
+  const TaskSet set = materialize_cache_set(specs, a_lo, a_hi, 0.5);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set[0].is_hi());
+  EXPECT_TRUE(set[2].dropped_in_hi());
+  // C(LO) from the LO allocation, C(HI) from the (larger) HI allocation.
+  EXPECT_EQ(set[0].wcet(Mode::LO), specs[0].lo_curve.at(2));
+  EXPECT_EQ(set[0].wcet(Mode::HI), specs[0].hi_curve.at(4));
+}
+
+TEST(MaterializeCacheTest, HiAllocationNeverShrinksBelowLo) {
+  const auto specs = demo_specs(8);
+  const WayAllocation a_lo{4, 4, 0, 0};
+  const WayAllocation a_hi{1, 1, 0, 0};  // nominally smaller: must be ignored
+  const TaskSet set = materialize_cache_set(specs, a_lo, a_hi, 0.5);
+  EXPECT_EQ(set[0].wcet(Mode::HI), specs[0].hi_curve.at(4));
+}
+
+TEST(MaterializeCacheTest, ChiClampedAboveCLo) {
+  // A HI curve that dips below the LO WCET at many ways must be clamped to
+  // satisfy Eq. (1).
+  std::vector<CacheTaskSpec> specs;
+  specs.push_back({"h", Criticality::HI, 100, WcetCurve(std::vector<Ticks>{10, 10}),
+                   WcetCurve(std::vector<Ticks>{12, 6})});
+  const TaskSet set =
+      materialize_cache_set(specs, WayAllocation{0}, WayAllocation{1}, 0.5);
+  EXPECT_EQ(set[0].wcet(Mode::HI), 10);  // clamped to C(LO)
+}
+
+TEST(MaterializeCacheTest, RejectsMismatchedAllocation) {
+  EXPECT_THROW(
+      materialize_cache_set(demo_specs(8), WayAllocation{1, 1}, WayAllocation{1, 1}, 0.5),
+      std::invalid_argument);
+}
+
+TEST(GreedyAllocationTest, ReallocationNeverHurts) {
+  const auto specs = demo_specs(8);
+  const WayAllocation a_lo{2, 2, 2, 2};
+  const CachePlanResult plan = greedy_hi_allocation(specs, a_lo, 8, 0.5);
+  // Baseline: no reallocation (HI tasks keep their LO shares).
+  const TaskSet baseline =
+      materialize_cache_set(specs, a_lo, WayAllocation{2, 2, 0, 0}, 0.5);
+  EXPECT_LE(plan.s_min, min_speedup_value(baseline) + 1e-12);
+  EXPECT_NEAR(plan.s_min, min_speedup_value(plan.set), 1e-12);
+}
+
+TEST(GreedyAllocationTest, RespectsCacheCapacity) {
+  const auto specs = demo_specs(8);
+  const WayAllocation a_lo{2, 2, 2, 2};
+  const CachePlanResult plan = greedy_hi_allocation(specs, a_lo, 8, 0.5);
+  EXPECT_LE(allocated_ways(plan.hi_allocation), 8);
+  // LO tasks hold no HI-mode ways.
+  EXPECT_EQ(plan.hi_allocation[2], 0);
+  EXPECT_EQ(plan.hi_allocation[3], 0);
+  // HI tasks never below their LO-mode share.
+  EXPECT_GE(plan.hi_allocation[0], 2);
+  EXPECT_GE(plan.hi_allocation[1], 2);
+}
+
+TEST(GreedyAllocationTest, CacheInsensitiveCurvesGainNothing) {
+  std::vector<CacheTaskSpec> specs;
+  const WcetCurve flat_lo(std::vector<Ticks>{10, 10, 10, 10, 10});
+  const WcetCurve flat_hi(std::vector<Ticks>{25, 25, 25, 25, 25});
+  specs.push_back({"h", Criticality::HI, 100, flat_lo, flat_hi});
+  specs.push_back({"l", Criticality::LO, 100, flat_lo, {}});
+  const WayAllocation a_lo{2, 2};
+  const CachePlanResult plan = greedy_hi_allocation(specs, a_lo, 4, 0.5);
+  EXPECT_EQ(plan.hi_allocation[0], 2);  // no way was worth taking
+}
+
+TEST(GreedyAllocationTest, RejectsOversubscribedLoAllocation) {
+  EXPECT_THROW(greedy_hi_allocation(demo_specs(8), WayAllocation{4, 4, 4, 4}, 8, 0.5),
+               std::invalid_argument);
+}
+
+TEST(GreedyAllocationTest, InducedSetStaysLoSchedulable) {
+  const auto specs = demo_specs(8);
+  const WayAllocation a_lo{2, 2, 2, 2};
+  const CachePlanResult plan = greedy_hi_allocation(specs, a_lo, 8, 0.6);
+  EXPECT_TRUE(lo_mode_schedulable(plan.set));  // HI-mode ways don't touch LO mode
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,104 @@
+// Tests for the AMC-rtb fixed-priority baseline.
+#include "core/amc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/speedup.hpp"
+#include "core/tuning.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(ResponseTimeTest, NoInterference) {
+  EXPECT_EQ(response_time_recurrence(3, {}, {}, 100), std::optional<Ticks>(3));
+}
+
+TEST(ResponseTimeTest, ClassicExample) {
+  // Task under analysis C=2 with hp tasks (C=1,T=4) and (C=2,T=6):
+  // R = 2 + 1 + 2 = 5 -> ceil(5/4)=2, ceil(5/6)=1 -> 2+2+2=6 -> 6/4->2, 6/6->1
+  // -> 2+2+2=6 converged.
+  EXPECT_EQ(response_time_recurrence(2, {1, 2}, {4, 6}, 100), std::optional<Ticks>(6));
+}
+
+TEST(ResponseTimeTest, DivergesPastBound) {
+  // Utilization 1 from hp task alone: never converges within the bound.
+  EXPECT_EQ(response_time_recurrence(1, {4}, {4}, 50), std::nullopt);
+}
+
+TEST(AmcTest, EasySetAccepted) {
+  const ImplicitSet set({
+      {"h", Criticality::HI, 10, 2, 4},
+      {"l", Criticality::LO, 20, 4, 4},
+  });
+  EXPECT_TRUE(amc_rtb_schedulable(set).schedulable);
+}
+
+TEST(AmcTest, LoModeOverloadRejectedWithWitness) {
+  const ImplicitSet set({
+      {"a", Criticality::LO, 10, 6, 6},
+      {"b", Criticality::LO, 10, 6, 6},
+  });
+  const AmcResult r = amc_rtb_schedulable(set);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.failing_task, "b");  // the lower-priority of the two
+}
+
+TEST(AmcTest, HiModeOverloadRejected) {
+  // Fits at C(LO) but not at C(HI).
+  const ImplicitSet set({
+      {"h1", Criticality::HI, 10, 2, 8},
+      {"h2", Criticality::HI, 12, 2, 8},
+  });
+  const AmcResult r = amc_rtb_schedulable(set);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.failing_task, "h2");
+}
+
+TEST(AmcTest, LoCarryOverInterferenceCounted) {
+  // The HI task alone fits in HI mode; a higher-priority LO task's
+  // pre-switch interference can still break it.
+  const ImplicitSet with_lo({
+      {"l", Criticality::LO, 4, 2, 2},
+      {"h", Criticality::HI, 10, 3, 8},
+  });
+  EXPECT_FALSE(amc_rtb_schedulable(with_lo).schedulable);
+  const ImplicitSet without_lo({{"h", Criticality::HI, 10, 3, 8}});
+  EXPECT_TRUE(amc_rtb_schedulable(without_lo).schedulable);
+}
+
+TEST(AmcTest, RateMonotonicOrderMatters) {
+  // A short-period HI task must preempt the long-period LO task, not vice
+  // versa; the analysis must order by period regardless of input order.
+  const ImplicitSet set({
+      {"slow_lo", Criticality::LO, 100, 40, 40},
+      {"fast_hi", Criticality::HI, 10, 2, 4},
+  });
+  EXPECT_TRUE(amc_rtb_schedulable(set).schedulable);
+}
+
+TEST(AmcTest, NeverAcceptsWhatEdfDemandBoundRejectsAtSameModel) {
+  // EDF is optimal on a uniprocessor: whenever AMC (FP, termination model)
+  // accepts, the EDF demand-bound test with termination must accept at
+  // speedup <= 1... strictly speaking the EDF test also needs x tuning; use
+  // the utilization x rule and check the implication AMC => EDF-schedulable.
+  Rng rng(123);
+  GenParams params;
+  params.u_bound = 0.7;
+  int amc_accepts = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    if (!amc_rtb_schedulable(*skeleton).schedulable) continue;
+    ++amc_accepts;
+    const MinXResult mx = min_x_for_lo(*skeleton);
+    ASSERT_TRUE(mx.feasible);
+    EXPECT_LE(min_speedup_value(skeleton->materialize_terminating(mx.x)), 1.0 + 1e-9)
+        << "AMC accepted a set the EDF demand-bound test needs speedup for";
+  }
+  EXPECT_GT(amc_accepts, 5);
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,104 @@
+// Tests for the turbo-budget analysis and the termination fallback.
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+#include "gen/paper_examples.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(TerminateLoTest, DropsEveryLoTask) {
+  const TaskSet term = terminate_lo_tasks(table1_degraded());
+  ASSERT_EQ(term.size(), 2u);
+  EXPECT_FALSE(term[0].dropped_in_hi());
+  EXPECT_TRUE(term[1].dropped_in_hi());
+  // LO-mode parameters are preserved.
+  EXPECT_EQ(term[1].wcet(Mode::LO), 2);
+  EXPECT_EQ(term[1].deadline(Mode::LO), 5);
+  EXPECT_EQ(term[1].period(Mode::LO), 15);
+}
+
+TEST(TerminateLoTest, IdempotentAndHiPreserving) {
+  const TaskSet once = terminate_lo_tasks(table1_base());
+  const TaskSet twice = terminate_lo_tasks(once);
+  EXPECT_NEAR(min_speedup_value(once), min_speedup_value(twice), 1e-12);
+  EXPECT_EQ(once[0].wcet(Mode::HI), table1_base()[0].wcet(Mode::HI));
+}
+
+TEST(TurboEnvelopeTest, Table1FitsGenerousEnvelope) {
+  TurboEnvelope env;
+  env.max_speedup = 2.0;
+  env.max_boost_ticks = 10.0;  // Delta_R(2) = 6
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_TRUE(r.speed_ok);
+  EXPECT_NEAR(r.delta_r, 6.0, 1e-9);
+  EXPECT_TRUE(r.duration_ok);
+  EXPECT_TRUE(r.admissible);
+}
+
+TEST(TurboEnvelopeTest, SpeedCeilingBelowSminRejected) {
+  TurboEnvelope env;
+  env.max_speedup = 1.2;  // below s_min = 4/3
+  env.max_boost_ticks = 100.0;
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_FALSE(r.speed_ok);
+  EXPECT_FALSE(r.admissible);
+}
+
+TEST(TurboEnvelopeTest, ShortBudgetRescuedByFallback) {
+  TurboEnvelope env;
+  env.max_speedup = 2.0;
+  env.max_boost_ticks = 1.0;  // shorter than Delta_R(2) = 6
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_FALSE(r.duration_ok);
+  // Terminating tau2 leaves only tau1 with s_min = 5/6 <= 1: safe fallback.
+  EXPECT_TRUE(r.fallback_safe);
+  EXPECT_TRUE(r.admissible);
+}
+
+TEST(TurboEnvelopeTest, NoFallbackWhenHiTasksAloneNeedSpeedup) {
+  // Two dense HI tasks: even with every LO task dropped, s_min > 1.
+  const TaskSet set({McTask::hi("a", 2, 4, 2, 4, 4), McTask::hi("b", 2, 4, 2, 4, 4)});
+  TurboEnvelope env;
+  env.max_speedup = 3.0;
+  env.max_boost_ticks = 0.5;  // unrealistically short
+  const TurboReport r = check_turbo_envelope(set, env);
+  EXPECT_TRUE(r.speed_ok);
+  EXPECT_FALSE(r.duration_ok);
+  EXPECT_FALSE(r.fallback_safe);
+  EXPECT_FALSE(r.admissible);
+}
+
+TEST(TurboEnvelopeTest, DutyCycleBound) {
+  TurboEnvelope env;
+  env.max_speedup = 2.0;
+  env.max_boost_ticks = 10.0;
+  env.min_overrun_separation = 60.0;  // T_O
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_NEAR(r.duty_cycle, 6.0 / 60.0, 1e-9);
+}
+
+TEST(TurboEnvelopeTest, DutyCycleNaNWithoutSeparationAssumption) {
+  TurboEnvelope env;
+  env.max_speedup = 2.0;
+  env.max_boost_ticks = 10.0;
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_TRUE(std::isnan(r.duty_cycle));
+}
+
+TEST(TurboEnvelopeTest, DutyCycleNaNWhenResetExceedsSeparation) {
+  TurboEnvelope env;
+  env.max_speedup = 2.0;
+  env.max_boost_ticks = 10.0;
+  env.min_overrun_separation = 3.0;  // < Delta_R: the 1/T_O argument fails
+  const TurboReport r = check_turbo_envelope(table1_base(), env);
+  EXPECT_TRUE(std::isnan(r.duty_cycle));
+}
+
+}  // namespace
+}  // namespace rbs

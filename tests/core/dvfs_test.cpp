@@ -1,0 +1,90 @@
+// Tests for discrete DVFS level selection and the boost-energy model.
+#include "core/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/reset.hpp"
+#include "gen/paper_examples.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(FrequencyMenuTest, CubicPowersAndSorting) {
+  const FrequencyMenu menu = FrequencyMenu::cubic({2.0, 1.0, 1.5});
+  ASSERT_EQ(menu.levels().size(), 3u);
+  EXPECT_DOUBLE_EQ(menu.levels()[0].speed, 1.0);
+  EXPECT_DOUBLE_EQ(menu.levels()[1].speed, 1.5);
+  EXPECT_DOUBLE_EQ(menu.levels()[2].speed, 2.0);
+  EXPECT_DOUBLE_EQ(menu.levels()[2].power, 8.0);
+}
+
+TEST(FrequencyMenuTest, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(FrequencyMenu({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(FrequencyMenu({{1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(MinFeasibleLevelTest, PicksSlowestCoveringSmin) {
+  // s_min = 4/3: levels 1.0 infeasible, 1.5 feasible.
+  const FrequencyMenu menu = FrequencyMenu::cubic({1.0, 1.5, 2.0});
+  const LevelChoice c = min_feasible_level(table1_base(), menu);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.level.speed, 1.5);
+  EXPECT_NEAR(c.delta_r, resetting_time_value(table1_base(), 1.5), 1e-9);
+}
+
+TEST(MinFeasibleLevelTest, InfeasibleWhenMenuTooSlow) {
+  const FrequencyMenu menu = FrequencyMenu::cubic({1.0, 1.2});
+  EXPECT_FALSE(min_feasible_level(table1_base(), menu).feasible);
+}
+
+TEST(MinFeasibleLevelTest, DegradedSetRunsAtNominal) {
+  // s_min = 12/13 < 1: the nominal level suffices.
+  const FrequencyMenu menu = FrequencyMenu::cubic({1.0, 1.5});
+  const LevelChoice c = min_feasible_level(table1_degraded(), menu);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.level.speed, 1.0);
+}
+
+TEST(EnergyOptimalTest, TradesPowerAgainstBoostLength) {
+  // For Table I: Delta_R(1.5)=8, Delta_R(2)=6, Delta_R(4)=1.75.
+  // Cubic power: 3.375*8=27, 8*6=48, 64*1.75=112 -> slowest level wins.
+  const FrequencyMenu cubic = FrequencyMenu::cubic({1.5, 2.0, 4.0});
+  const LevelChoice c = energy_optimal_level(table1_base(), cubic);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.level.speed, 1.5);
+
+  // With near-flat power the fastest level wins (shortest boost).
+  const FrequencyMenu flat({{1.5, 1.0}, {2.0, 1.01}, {4.0, 1.02}});
+  const LevelChoice f = energy_optimal_level(table1_base(), flat);
+  ASSERT_TRUE(f.feasible);
+  EXPECT_DOUBLE_EQ(f.level.speed, 4.0);
+}
+
+TEST(EnergyOptimalTest, InteriorOptimumExists) {
+  // Construct powers so the middle level minimises power * Delta_R:
+  // Delta_R: 8 @1.5, 6 @2, 1.75 @4. Pick powers 2, 1.5, 10:
+  // 16, 9, 17.5 -> middle wins.
+  const FrequencyMenu menu({{1.5, 2.0}, {2.0, 1.5}, {4.0, 10.0}});
+  const LevelChoice c = energy_optimal_level(table1_base(), menu);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.level.speed, 2.0);
+  EXPECT_NEAR(c.boost_energy, 9.0, 1e-9);
+}
+
+TEST(EnergyOptimalTest, SkipsInfeasibleLevels) {
+  // 1.0 is below s_min = 4/3 even though it has the lowest energy.
+  const FrequencyMenu menu({{1.0, 0.001}, {2.0, 8.0}});
+  const LevelChoice c = energy_optimal_level(table1_base(), menu);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.level.speed, 2.0);
+}
+
+TEST(EnergyOptimalTest, EmptyMenuInfeasible) {
+  EXPECT_FALSE(min_feasible_level(table1_base(), FrequencyMenu({})).feasible);
+  EXPECT_FALSE(energy_optimal_level(table1_base(), FrequencyMenu({})).feasible);
+}
+
+}  // namespace
+}  // namespace rbs

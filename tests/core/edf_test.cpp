@@ -1,0 +1,95 @@
+// Tests for the LO-mode processor-demand test.
+#include "core/edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dbf.hpp"
+#include "gen/paper_examples.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(EdfTest, EmptySetSchedulable) { EXPECT_TRUE(lo_mode_schedulable(TaskSet{})); }
+
+TEST(EdfTest, SingleImplicitTaskAlwaysSchedulable) {
+  EXPECT_TRUE(lo_mode_schedulable(TaskSet({McTask::lo("l", 10, 10, 10)})));
+}
+
+TEST(EdfTest, OverUtilizedSetRejected) {
+  const TaskSet set({McTask::lo("a", 6, 10, 10), McTask::lo("b", 6, 10, 10)});
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(EdfTest, FullUtilizationImplicitDeadlinesSchedulable) {
+  // U == 1 with implicit deadlines: EDF schedulable (bound_slack == 0 path).
+  const TaskSet set({McTask::lo("a", 5, 10, 10), McTask::lo("b", 10, 20, 20)});
+  EXPECT_TRUE(lo_mode_schedulable(set));
+}
+
+TEST(EdfTest, ConstrainedDeadlineViolationFound) {
+  // Two tasks, each C=2, D=2, T=100: at delta=2 demand is 4 > 2.
+  const TaskSet set({McTask::lo("a", 2, 2, 100), McTask::lo("b", 2, 2, 100)});
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.violation_delta, 2);
+}
+
+TEST(EdfTest, ViolationWitnessIsReal) {
+  const TaskSet set({McTask::lo("a", 3, 4, 10), McTask::lo("b", 3, 4, 10),
+                     McTask::lo("c", 2, 6, 12)});
+  const EdfTestResult r = lo_mode_test(set);
+  if (!r.schedulable && r.violation_delta > 0)
+    EXPECT_GT(dbf_lo_total(set, r.violation_delta), r.violation_delta);
+}
+
+TEST(EdfTest, HiTasksUseLoDeadlinesInLoMode) {
+  // The shortened (virtual) deadline makes an otherwise-fine set infeasible.
+  const TaskSet tight({McTask::hi("h", 5, 5, 5, 10, 10), McTask::lo("l", 3, 6, 10)});
+  EXPECT_FALSE(lo_mode_schedulable(tight));
+  const TaskSet loose({McTask::hi("h", 5, 5, 10, 10, 10), McTask::lo("l", 3, 6, 10)});
+  EXPECT_TRUE(lo_mode_schedulable(loose));
+}
+
+TEST(EdfTest, SpeedParameterScalesSupply) {
+  const TaskSet set({McTask::lo("a", 2, 2, 100), McTask::lo("b", 2, 2, 100)});
+  EXPECT_FALSE(lo_mode_schedulable(set, 1.0));
+  EXPECT_TRUE(lo_mode_schedulable(set, 2.0));
+}
+
+TEST(EdfTest, Table1SetsSchedulable) {
+  EXPECT_TRUE(lo_mode_schedulable(table1_base()));
+  EXPECT_TRUE(lo_mode_schedulable(table1_degraded()));
+}
+
+TEST(EdfTest, BruteForceAgreementOnSmallSets) {
+  // Exhaustive demand check over a long window must agree with the bounded
+  // test for every deadline/period combination of this small family.
+  for (Ticks d1 = 2; d1 <= 6; ++d1)
+    for (Ticks c1 = 1; c1 <= d1; ++c1)
+      for (Ticks c2 = 1; c2 <= 4; ++c2) {
+        const TaskSet set({McTask::lo("a", c1, d1, 7), McTask::lo("b", c2, 4, 9)});
+        const bool fast = lo_mode_schedulable(set);
+        bool brute = set.total_utilization(Mode::LO) <= 1.0;
+        if (brute) {
+          for (Ticks delta = 1; delta <= 7 * 9 * 4; ++delta)
+            if (dbf_lo_total(set, delta) > delta) {
+              brute = false;
+              break;
+            }
+        }
+        EXPECT_EQ(fast, brute) << "c1=" << c1 << " d1=" << d1 << " c2=" << c2;
+      }
+}
+
+TEST(EdfTest, DroppedTasksStillCountInLoMode) {
+  // Termination only affects HI mode; LO-mode demand is unchanged.
+  const TaskSet a({McTask::lo("l", 2, 2, 100), McTask::lo("m", 2, 2, 100)});
+  const TaskSet b({McTask::lo_terminated("l", 2, 2, 100),
+                   McTask::lo_terminated("m", 2, 2, 100)});
+  EXPECT_EQ(lo_mode_schedulable(a), lo_mode_schedulable(b));
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,77 @@
+// Edge cases of the analysis options, result metadata, and small utilities
+// not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+#include "gen/paper_examples.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(SpeedupOptionsTest, BreakpointCapReportsHonestError) {
+  // Force the cap below convergence: the result must be marked inexact with
+  // a non-negative error bound that still brackets the true value.
+  SpeedupOptions options;
+  options.max_breakpoints = 2;
+  const SpeedupResult capped = min_speedup(table1_base(), options);
+  const SpeedupResult full = min_speedup(table1_base());
+  EXPECT_FALSE(capped.exact);
+  EXPECT_GE(capped.error_bound, 0.0);
+  EXPECT_LE(full.s_min, capped.s_min + capped.error_bound + 1e-12);
+  EXPECT_GE(full.s_min + 1e-12, capped.s_min);  // reported value is a lower witness
+}
+
+TEST(SpeedupOptionsTest, BreakpointCountReported) {
+  const SpeedupResult r = min_speedup(table1_base());
+  EXPECT_GT(r.breakpoints_visited, 0u);
+  EXPECT_LT(r.breakpoints_visited, 1000u);  // hyperperiod 105: a few hundred max
+}
+
+TEST(ResetOptionsTest, BreakpointCapGivesConservativeInfinity) {
+  ResetOptions options;
+  options.max_breakpoints = 1;
+  const ResetResult r = resetting_time(table1_base(), 2.0, options);
+  EXPECT_FALSE(r.exact);
+  EXPECT_TRUE(std::isinf(r.delta_r));
+}
+
+TEST(ResetOptionsTest, BreakpointCountReported) {
+  const ResetResult r = resetting_time(table1_base(), 2.0);
+  EXPECT_GT(r.breakpoints_visited, 0u);
+}
+
+TEST(InfTicksTest, SentinelArithmeticSafe) {
+  // The sentinel must survive the additions the analyses perform.
+  EXPECT_TRUE(is_inf(kInfTicks));
+  EXPECT_TRUE(is_inf(kInfTicks + kInfTicks / 2));  // no overflow into negatives
+  EXPECT_FALSE(is_inf(kInfTicks - 1));
+  EXPECT_GT(kInfTicks, Ticks{1} << 40);  // far above any realistic horizon
+}
+
+TEST(ModeNamesTest, StableStrings) {
+  EXPECT_EQ(to_string(Mode::LO), "LO");
+  EXPECT_EQ(to_string(Mode::HI), "HI");
+  EXPECT_EQ(to_string(Criticality::LO), "LO");
+  EXPECT_EQ(to_string(Criticality::HI), "HI");
+}
+
+TEST(Table1GoldenTest, AllProseFactsAtOnce) {
+  // The single place asserting every reconstructed Table I fact together,
+  // as a regression anchor for the whole analysis stack.
+  const TaskSet base = table1_base();
+  const TaskSet degraded = table1_degraded();
+  EXPECT_NEAR(min_speedup_value(base), 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(min_speedup_value(degraded), 12.0 / 13.0, 1e-12);
+  EXPECT_NEAR(resetting_time_value(base, 2.0), 6.0, 1e-9);
+  EXPECT_NEAR(resetting_time_value(base, 4.0 / 3.0), 9.0, 1e-9);
+  const ImplicitSet skel = table1_implicit();
+  EXPECT_EQ(skel.size(), 2u);
+  EXPECT_NEAR(skel.u_hi_hi(), 5.0 / 7.0, 1e-12);
+  EXPECT_NEAR(skel.u_lo_lo(), 2.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,118 @@
+// Tests for partitioned multiprocessor allocation.
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/edf.hpp"
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+#include "gen/fms.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs {
+namespace {
+
+TaskSet two_heavy_tasks() {
+  // Each task alone fits a unit-speed core (s_min 0.89 resp. 1.0), but the
+  // pair's HI-mode demand peaks at 18 work units in a window of 10
+  // (s_min = 1.8): one core only works with a ~2x speedup budget.
+  return TaskSet({McTask::hi("a", 1, 8, 2, 10, 10), McTask::hi("b", 1, 11, 4, 14, 14)});
+}
+
+TEST(PartitionTest, ZeroCoresInfeasible) {
+  EXPECT_FALSE(partition_first_fit(two_heavy_tasks(), 0).feasible);
+}
+
+TEST(PartitionTest, EmptySetTriviallyFeasible) {
+  const PartitionResult r = partition_first_fit(TaskSet{}, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.assignment[0].empty());
+}
+
+TEST(PartitionTest, HeavyTasksNeedSeparateCores) {
+  PartitionOptions options;
+  options.hi_speedup = 1.0;
+  EXPECT_FALSE(partition_first_fit(two_heavy_tasks(), 1, options).feasible);
+  const PartitionResult r = partition_first_fit(two_heavy_tasks(), 2, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment[0].size(), 1u);
+  EXPECT_EQ(r.assignment[1].size(), 1u);
+}
+
+TEST(PartitionTest, SpeedupBudgetReducesCores) {
+  // With a 2x budget both tasks fit one core; without it they need two.
+  PartitionOptions fast;
+  fast.hi_speedup = 2.0;
+  PartitionOptions slow;
+  slow.hi_speedup = 1.0;
+  EXPECT_EQ(cores_needed(two_heavy_tasks(), 4, fast), std::optional<std::size_t>(1));
+  EXPECT_EQ(cores_needed(two_heavy_tasks(), 4, slow), std::optional<std::size_t>(2));
+}
+
+TEST(PartitionTest, EveryCoreRespectsBudgets) {
+  Rng rng(31);
+  GenParams params;
+  params.u_bound = 0.9;
+  const auto skeleton = generate_task_set(params, rng);
+  ASSERT_TRUE(skeleton.has_value());
+  const TaskSet set = skeleton->materialize(0.6, 2.0);
+
+  PartitionOptions options;
+  options.hi_speedup = 1.5;
+  options.max_reset = 5000.0;
+  const auto cores = cores_needed(set, 8, options);
+  ASSERT_TRUE(cores.has_value());
+  const PartitionResult r = partition_first_fit(set, *cores, options);
+  ASSERT_TRUE(r.feasible);
+
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < r.assignment.size(); ++c) {
+    assigned += r.assignment[c].size();
+    if (r.assignment[c].empty()) continue;
+    std::vector<McTask> tasks;
+    for (std::size_t idx : r.assignment[c]) tasks.push_back(set[idx]);
+    const TaskSet core(tasks);
+    EXPECT_TRUE(lo_mode_schedulable(core)) << "core " << c;
+    EXPECT_LE(min_speedup_value(core), options.hi_speedup + 1e-9) << "core " << c;
+    EXPECT_LE(resetting_time_value(core, options.hi_speedup), options.max_reset + 1e-9);
+    EXPECT_NEAR(r.core_s_min[c], min_speedup_value(core), 1e-12);
+  }
+  EXPECT_EQ(assigned, set.size());  // every task placed exactly once
+}
+
+TEST(PartitionTest, RejectedTaskReported) {
+  PartitionOptions options;
+  options.hi_speedup = 1.0;
+  const PartitionResult r = partition_first_fit(two_heavy_tasks(), 1, options);
+  ASSERT_FALSE(r.feasible);
+  ASSERT_TRUE(r.rejected_task.has_value());
+}
+
+TEST(PartitionTest, DecreasingNeverNeedsMoreCoresOnTheseSets) {
+  // FFD is a heuristic; on these workloads it should not lose to plain FF.
+  Rng rng(32);
+  GenParams params;
+  params.u_bound = 0.8;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    const TaskSet set = skeleton->materialize(0.7, 2.0);
+    PartitionOptions ffd;
+    PartitionOptions ff;
+    ff.decreasing = false;
+    const auto c1 = cores_needed(set, 8, ffd);
+    const auto c2 = cores_needed(set, 8, ff);
+    if (c1 && c2) EXPECT_LE(*c1, *c2 + 1);  // allow one-core slack for FF luck
+  }
+}
+
+TEST(PartitionTest, FmsFitsOneCoreAtTwoX) {
+  const TaskSet fms = fms_task_set(2.0).materialize(0.5, 2.0);
+  PartitionOptions options;
+  options.hi_speedup = 2.0;
+  EXPECT_EQ(cores_needed(fms, 4, options), std::optional<std::size_t>(1));
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,101 @@
+// Tests for the QPA LO-mode test: identical verdicts to the forward
+// processor-demand sweep, across hand-built and randomized workloads.
+#include "core/qpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dbf.hpp"
+#include "core/edf.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs {
+namespace {
+
+TEST(QpaTest, EmptySetSchedulable) { EXPECT_TRUE(qpa_lo_schedulable(TaskSet{})); }
+
+TEST(QpaTest, SimpleSchedulableAndNot) {
+  EXPECT_TRUE(qpa_lo_schedulable(TaskSet({McTask::lo("l", 10, 10, 10)})));
+  const TaskSet over({McTask::lo("a", 6, 10, 10), McTask::lo("b", 6, 10, 10)});
+  EXPECT_FALSE(qpa_lo_schedulable(over));
+}
+
+TEST(QpaTest, ConstrainedDeadlineViolation) {
+  const TaskSet set({McTask::lo("a", 2, 2, 100), McTask::lo("b", 2, 2, 100)});
+  const EdfTestResult r = qpa_lo_test(set);
+  EXPECT_FALSE(r.schedulable);
+  // QPA's witness is *a* violating interval; demand must exceed it there.
+  EXPECT_GT(dbf_lo_total(set, r.violation_delta),
+            static_cast<Ticks>(r.violation_delta));
+}
+
+TEST(QpaTest, SpeedParameterScalesSupply) {
+  const TaskSet set({McTask::lo("a", 2, 2, 100), McTask::lo("b", 2, 2, 100)});
+  EXPECT_FALSE(qpa_lo_schedulable(set, 1.0));
+  EXPECT_TRUE(qpa_lo_schedulable(set, 2.0));
+}
+
+TEST(QpaTest, FullUtilizationImplicit) {
+  const TaskSet set({McTask::lo("a", 5, 10, 10), McTask::lo("b", 10, 20, 20)});
+  EXPECT_TRUE(qpa_lo_schedulable(set));
+}
+
+TEST(QpaTest, Table1Sets) {
+  EXPECT_TRUE(qpa_lo_schedulable(table1_base()));
+  EXPECT_TRUE(qpa_lo_schedulable(table1_degraded()));
+}
+
+TEST(QpaTest, AgreesWithForwardSweepExhaustively) {
+  // Small-parameter family: both algorithms must give identical verdicts.
+  for (Ticks d1 = 2; d1 <= 6; ++d1)
+    for (Ticks c1 = 1; c1 <= d1; ++c1)
+      for (Ticks c2 = 1; c2 <= 4; ++c2)
+        for (Ticks d2 = c2; d2 <= 9; d2 += 2) {
+          const TaskSet set({McTask::lo("a", c1, d1, 7), McTask::lo("b", c2, d2, 9)});
+          EXPECT_EQ(qpa_lo_schedulable(set), lo_mode_schedulable(set))
+              << describe(set[0]) << " | " << describe(set[1]);
+        }
+}
+
+class QpaRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(QpaRandomTest, AgreesWithForwardSweepOnRandomSets) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  GenParams params;
+  params.period_min = 10;
+  params.period_max = 1000;
+  for (double u : {0.4, 0.6, 0.8, 0.95}) {
+    params.u_bound = u;
+    for (int i = 0; i < 25; ++i) {
+      const auto skeleton = generate_task_set(params, rng);
+      if (!skeleton) continue;
+      // Random x stresses constrained deadlines (the interesting case).
+      const double x = rng.uniform(0.05, 1.0);
+      const TaskSet set = skeleton->materialize(x, 2.0);
+      for (double speed : {0.8, 1.0, 1.3}) {
+        EXPECT_EQ(qpa_lo_schedulable(set, speed), lo_mode_schedulable(set, speed))
+            << "u=" << u << " x=" << x << " speed=" << speed << " trial=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QpaRandomTest, testing::Values(1, 2, 3, 4, 5));
+
+TEST(QpaTest, ConvergesInFewIterations) {
+  Rng rng(77);
+  GenParams params;
+  params.u_bound = 0.9;
+  const auto skeleton = generate_task_set(params, rng);
+  ASSERT_TRUE(skeleton.has_value());
+  const TaskSet set = skeleton->materialize(0.5, 2.0);
+  const EdfTestResult fwd = lo_mode_test(set);
+  const EdfTestResult qpa = qpa_lo_test(set);
+  EXPECT_EQ(fwd.schedulable, qpa.schedulable);
+  // The whole point of QPA: far fewer evaluation points.
+  EXPECT_LT(qpa.breakpoints_visited, 200u);
+}
+
+}  // namespace
+}  // namespace rbs

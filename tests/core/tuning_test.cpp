@@ -1,0 +1,211 @@
+// Tests for design-parameter tuning (min-x search and greedy per-task
+// deadline tightening).
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/edf.hpp"
+#include "core/speedup.hpp"
+#include "gen/fms.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs {
+namespace {
+
+ImplicitSet light_set() {
+  return ImplicitSet({
+      {"h", Criticality::HI, 20, 4, 8},
+      {"l", Criticality::LO, 25, 5, 5},
+  });
+}
+
+TEST(MinXTest, FeasibleSetHasFeasibleResult) {
+  const MinXResult r = min_x_for_lo(light_set());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.x, 0.0);
+  EXPECT_LE(r.x, 1.0);
+}
+
+TEST(MinXTest, ResultIsLoSchedulableAndNearMinimal) {
+  const ImplicitSet skel = light_set();
+  const MinXResult r = min_x_for_lo(skel, 1e-5);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(lo_mode_schedulable(skel.materialize(r.x, 1.0)));
+  // A slightly smaller x must flip the verdict or hit the same materialised
+  // deadlines (integer rounding can make nearby x equivalent).
+  const TaskSet below = skel.materialize(std::max(1e-6, r.x - 0.05), 1.0);
+  const TaskSet at = skel.materialize(r.x, 1.0);
+  if (below[0].deadline(Mode::LO) != at[0].deadline(Mode::LO))
+    EXPECT_FALSE(lo_mode_schedulable(below));
+}
+
+TEST(MinXTest, InfeasibleSetDetected) {
+  // LO-mode utilization > 1: no x helps.
+  const ImplicitSet skel({
+      {"h", Criticality::HI, 10, 6, 8},
+      {"l", Criticality::LO, 10, 6, 6},
+  });
+  EXPECT_FALSE(min_x_for_lo(skel).feasible);
+}
+
+TEST(MinXTest, LowerUtilizationAllowsSmallerX) {
+  const ImplicitSet light = light_set();
+  const ImplicitSet heavy({
+      {"h", Criticality::HI, 20, 9, 16},
+      {"l", Criticality::LO, 25, 12, 12},
+  });
+  const MinXResult rl = min_x_for_lo(light);
+  const MinXResult rh = min_x_for_lo(heavy);
+  ASSERT_TRUE(rl.feasible);
+  ASSERT_TRUE(rh.feasible);
+  EXPECT_LT(rl.x, rh.x);
+}
+
+TEST(MinXTest, SmallerXReducesRequiredSpeedup) {
+  // The whole point of overrun preparation (Fig. 4a trend, exact analysis).
+  const ImplicitSet skel = light_set();
+  const MinXResult r = min_x_for_lo(skel);
+  ASSERT_TRUE(r.feasible);
+  const double s_min_at_min_x = min_speedup_value(skel.materialize(r.x, 2.0));
+  const double s_min_at_one = min_speedup_value(skel.materialize(1.0, 2.0));
+  EXPECT_LE(s_min_at_min_x, s_min_at_one + 1e-12);
+}
+
+TEST(MinXTest, FmsModelIsFeasible) {
+  const MinXResult r = min_x_for_lo(fms_task_set(2.0));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.x, 1.0);
+}
+
+TEST(TightenTest, NeverWorseThanInput) {
+  const TaskSet start = light_set().materialize(1.0, 2.0);
+  const TightenResult r = tighten_lo_deadlines(start);
+  EXPECT_LE(r.s_min, min_speedup_value(start) + 1e-12);
+  EXPECT_TRUE(lo_mode_schedulable(r.set));
+}
+
+TEST(TightenTest, ReportedSpeedupMatchesReturnedSet) {
+  const TaskSet start = light_set().materialize(0.9, 1.5);
+  const TightenResult r = tighten_lo_deadlines(start);
+  EXPECT_NEAR(r.s_min, min_speedup_value(r.set), 1e-12);
+}
+
+TEST(TightenTest, OnlyHiTaskLoDeadlinesChange) {
+  const TaskSet start = light_set().materialize(1.0, 2.0);
+  const TightenResult r = tighten_lo_deadlines(start);
+  ASSERT_EQ(r.set.size(), start.size());
+  for (std::size_t i = 0; i < start.size(); ++i) {
+    EXPECT_EQ(r.set[i].deadline(Mode::HI), start[i].deadline(Mode::HI));
+    EXPECT_EQ(r.set[i].period(Mode::LO), start[i].period(Mode::LO));
+    if (!start[i].is_hi())
+      EXPECT_EQ(r.set[i].deadline(Mode::LO), start[i].deadline(Mode::LO));
+  }
+}
+
+TEST(TightenTest, RefiningCommonFactorNeverLoses) {
+  // Seeding the per-task greedy with the best common-x solution can only
+  // improve it (the greedy never accepts a worse set), and from a cold start
+  // it must land in the same ballpark.
+  Rng rng(5);
+  GenParams params;
+  params.u_bound = 0.5;
+  int tested = 0;
+  for (int trial = 0; trial < 20 && tested < 8; ++trial) {
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    const MinXResult mx = min_x_for_lo(*skeleton);
+    if (!mx.feasible) continue;
+    ++tested;
+    const TaskSet common = skeleton->materialize(mx.x, 2.0);
+    const double s_common = min_speedup_value(common);
+    const TightenResult refined = tighten_lo_deadlines(common);
+    EXPECT_LE(refined.s_min, s_common + 1e-9) << "trial " << trial;
+    const TightenResult cold = tighten_lo_deadlines(skeleton->materialize(1.0, 2.0));
+    EXPECT_LE(cold.s_min, s_common * 1.35 + 1e-9) << "trial " << trial;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST(MinYTest, OneWhenNoDegradationNeeded) {
+  // Plenty of headroom: even y = 1 fits a generous speedup.
+  const auto y = min_y_for_speedup(light_set(), 0.5, 3.0);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_DOUBLE_EQ(*y, 1.0);
+}
+
+TEST(MinYTest, BisectionFindsThreshold) {
+  const ImplicitSet skel = light_set();
+  const double x = 0.5;
+  // Target between s_min at y=1 and at termination so a threshold exists.
+  const double s_at_1 = min_speedup_value(skel.materialize(x, 1.0));
+  const double s_term = min_speedup_value(skel.materialize_terminating(x));
+  const double target = 0.5 * (s_at_1 + s_term);
+  const auto y = min_y_for_speedup(skel, x, target, 1e-4);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_GT(*y, 1.0);
+  // Feasible at the reported y, infeasible a notch below.
+  EXPECT_LE(min_speedup_value(skel.materialize(x, *y)), target + 1e-9);
+  if (*y > 1.02)
+    EXPECT_GT(min_speedup_value(skel.materialize(x, *y - 0.02)), target - 1e-9);
+}
+
+TEST(MinYTest, InfeasibleWhenTerminationIsNotEnough) {
+  // Dense HI tasks: dropping LO tasks cannot reach a tiny speedup target.
+  const ImplicitSet skel({
+      {"h", Criticality::HI, 10, 3, 9},
+      {"l", Criticality::LO, 10, 2, 2},
+  });
+  EXPECT_FALSE(min_y_for_speedup(skel, 0.5, 0.3).has_value());
+}
+
+TEST(MinYTest, MonotoneInTarget) {
+  const ImplicitSet skel = light_set();
+  const auto y_tight = min_y_for_speedup(skel, 0.5, 0.9);
+  const auto y_loose = min_y_for_speedup(skel, 0.5, 1.4);
+  if (y_tight && y_loose) EXPECT_GE(*y_tight + 1e-9, *y_loose);
+}
+
+TEST(DegradeTest, ReachesTargetOnTable1) {
+  // Base Table I needs 4/3; stretching tau2's HI service must reach s <= 1
+  // (the paper's degraded variant achieves 12/13).
+  const DegradeResult r = degrade_lo_services(table1_base(), 1.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.s_min, 1.0 + 1e-12);
+  EXPECT_GT(r.total_stretch, 0.0);
+  EXPECT_TRUE(lo_mode_schedulable(r.set));
+  // Only LO-task HI-mode parameters changed.
+  EXPECT_EQ(r.set[0].deadline(Mode::LO), 4);
+  EXPECT_EQ(r.set[1].period(Mode::LO), 15);
+  EXPECT_GE(r.set[1].period(Mode::HI), 15);
+}
+
+TEST(DegradeTest, AlreadyFeasibleIsIdentity) {
+  const DegradeResult r = degrade_lo_services(table1_base(), 2.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.total_stretch, 0.0);
+  EXPECT_NEAR(r.s_min, 4.0 / 3.0, 1e-12);
+}
+
+TEST(DegradeTest, HiOnlyDemandCannotBeDegradedAway) {
+  // The HI task alone already needs > target: no LO stretch can help.
+  const TaskSet set({McTask::hi("h", 3, 5, 4, 7, 7), McTask::lo("l", 2, 15, 15)});
+  const double hi_only = min_speedup_value(TaskSet({McTask::hi("h", 3, 5, 4, 7, 7)}));
+  const DegradeResult r = degrade_lo_services(set, hi_only * 0.5);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(DegradeTest, ReportedSpeedupMatchesSet) {
+  const DegradeResult r = degrade_lo_services(table1_base(), 1.0);
+  EXPECT_NEAR(r.s_min, min_speedup_value(r.set), 1e-12);
+}
+
+TEST(TightenTest, InfeasibleLoModeReturnsUnchanged) {
+  const TaskSet bad({McTask::lo("a", 6, 10, 10), McTask::lo("b", 6, 10, 10)});
+  const TightenResult r = tighten_lo_deadlines(bad);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,78 @@
+// Tests for the descriptive-statistics helpers.
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbs {
+namespace {
+
+TEST(StatsTest, PercentileEmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
+  EXPECT_TRUE(std::isnan(median({})));
+  EXPECT_TRUE(std::isnan(mean({})));
+}
+
+TEST(StatsTest, PercentileSingleton) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(StatsTest, PercentileClampsOutOfRange) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 105.0), 3.0);
+}
+
+TEST(StatsTest, MeanBasic) { EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5); }
+
+TEST(BoxWhiskerTest, FiveNumberSummary) {
+  const BoxWhisker b = box_whisker({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(b.count, 9u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 9.0);
+}
+
+TEST(BoxWhiskerTest, OutliersBeyondTukeyFences) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  v.push_back(100.0);  // way beyond q3 + 1.5*IQR
+  const BoxWhisker b = box_whisker(v);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_LT(b.whisker_hi, 100.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(BoxWhiskerTest, InfinitiesExcludedFromQuartiles) {
+  const BoxWhisker b =
+      box_whisker({1.0, 2.0, 3.0, std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(b.count, 4u);  // reported, but
+  EXPECT_DOUBLE_EQ(b.max, 3.0);  // quartiles over finite values only
+}
+
+TEST(BoxWhiskerTest, EmptyIsAllNaN) {
+  const BoxWhisker b = box_whisker({});
+  EXPECT_EQ(b.count, 0u);
+  EXPECT_TRUE(std::isnan(b.median));
+}
+
+}  // namespace
+}  // namespace rbs

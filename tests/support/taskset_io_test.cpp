@@ -1,0 +1,131 @@
+// Tests for the task-set text format.
+#include "support/taskset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/paper_examples.hpp"
+
+namespace rbs {
+namespace {
+
+TaskSet parse_or_die(const std::string& text) {
+  std::istringstream in(text);
+  auto result = read_task_set(in);
+  EXPECT_TRUE(std::holds_alternative<TaskSet>(result))
+      << std::get<ParseError>(result).message;
+  return std::get<TaskSet>(result);
+}
+
+ParseError parse_error(const std::string& text) {
+  std::istringstream in(text);
+  auto result = read_task_set(in);
+  EXPECT_TRUE(std::holds_alternative<ParseError>(result));
+  return std::holds_alternative<ParseError>(result) ? std::get<ParseError>(result)
+                                                    : ParseError{};
+}
+
+TEST(TaskSetIoTest, ParsesBasicFile) {
+  const TaskSet set = parse_or_die(
+      "# comment line\n"
+      "tau1, HI, 3, 5, 4, 7, 7, 7\n"
+      "\n"
+      "tau2, LO, 2, 2, 5, 15, 15, 20   # trailing comment\n");
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set[0].is_hi());
+  EXPECT_EQ(set[0].wcet(Mode::HI), 5);
+  EXPECT_EQ(set[1].deadline(Mode::HI), 15);
+  EXPECT_EQ(set[1].period(Mode::HI), 20);
+}
+
+TEST(TaskSetIoTest, ParsesInfAsTermination) {
+  const TaskSet set = parse_or_die("l, LO, 2, 2, 10, inf, 10, inf\n");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set[0].dropped_in_hi());
+}
+
+TEST(TaskSetIoTest, CriticalityCaseInsensitive) {
+  const TaskSet set = parse_or_die("a, hi, 1, 2, 3, 6, 6, 6\nb, lo, 1, 1, 4, 4, 4, 4\n");
+  EXPECT_TRUE(set[0].is_hi());
+  EXPECT_FALSE(set[1].is_hi());
+}
+
+TEST(TaskSetIoTest, EmptyInputGivesEmptySet) {
+  EXPECT_EQ(parse_or_die("# nothing here\n\n").size(), 0u);
+}
+
+TEST(TaskSetIoTest, ReportsFieldCountError) {
+  const ParseError e = parse_error("tau1, HI, 3, 5, 4, 7, 7\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("8 fields"), std::string::npos);
+}
+
+TEST(TaskSetIoTest, ReportsBadNumber) {
+  const ParseError e = parse_error("tau1, HI, 3, five, 4, 7, 7, 7\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("C(HI)"), std::string::npos);
+}
+
+TEST(TaskSetIoTest, ReportsBadCriticality) {
+  EXPECT_NE(parse_error("t, MEDIUM, 1, 1, 2, 2, 2, 2\n").message.find("criticality"),
+            std::string::npos);
+}
+
+TEST(TaskSetIoTest, ReportsModelViolationWithLine) {
+  // C(HI) < C(LO) on a HI task violates Eq. (1).
+  const ParseError e = parse_error("ok, LO, 1, 1, 5, 5, 5, 5\nbad, HI, 5, 3, 4, 7, 7, 7\n");
+  EXPECT_EQ(e.line, 2);
+}
+
+TEST(TaskSetIoTest, RejectsHiTaskWithChangedPeriod) {
+  const ParseError e = parse_error("h, HI, 1, 2, 3, 6, 6, 12\n");
+  EXPECT_NE(e.message.find("T(HI) = T(LO)"), std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsLoTaskWithChangedWcet) {
+  const ParseError e = parse_error("l, LO, 1, 2, 3, 3, 3, 3\n");
+  EXPECT_NE(e.message.find("C(HI) = C(LO)"), std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsNegativeNumbers) {
+  EXPECT_EQ(parse_error("t, LO, -1, -1, 2, 2, 2, 2\n").line, 1);
+}
+
+TEST(TaskSetIoTest, RoundTripsTable1) {
+  std::ostringstream out;
+  write_task_set(out, table1_degraded());
+  const TaskSet back = parse_or_die(out.str());
+  ASSERT_EQ(back.size(), 2u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(describe(back[i]), describe(table1_degraded()[i]));
+  }
+}
+
+TEST(TaskSetIoTest, RoundTripsTermination) {
+  const TaskSet original({McTask::hi("h", 1, 2, 3, 6, 6),
+                          McTask::lo_terminated("l", 2, 8, 8)});
+  std::ostringstream out;
+  write_task_set(out, original);
+  EXPECT_NE(out.str().find("inf"), std::string::npos);
+  const TaskSet back = parse_or_die(out.str());
+  EXPECT_TRUE(back[1].dropped_in_hi());
+}
+
+TEST(TaskSetIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/rbs_ts.txt";
+  ASSERT_TRUE(write_task_set_file(path, table1_base()));
+  auto result = read_task_set_file(path);
+  ASSERT_TRUE(std::holds_alternative<TaskSet>(result));
+  EXPECT_EQ(std::get<TaskSet>(result).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TaskSetIoTest, MissingFileReported) {
+  auto result = read_task_set_file("/nonexistent/rbs.txt");
+  ASSERT_TRUE(std::holds_alternative<ParseError>(result));
+  EXPECT_EQ(std::get<ParseError>(result).line, 0);
+}
+
+}  // namespace
+}  // namespace rbs
