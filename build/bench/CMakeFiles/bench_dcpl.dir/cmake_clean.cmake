@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcpl.dir/bench_dcpl.cpp.o"
+  "CMakeFiles/bench_dcpl.dir/bench_dcpl.cpp.o.d"
+  "bench_dcpl"
+  "bench_dcpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fms.dir/bench_fig5_fms.cpp.o"
+  "CMakeFiles/bench_fig5_fms.dir/bench_fig5_fms.cpp.o.d"
+  "bench_fig5_fms"
+  "bench_fig5_fms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

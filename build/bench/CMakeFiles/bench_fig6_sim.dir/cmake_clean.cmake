@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sim.dir/bench_fig6_sim.cpp.o"
+  "CMakeFiles/bench_fig6_sim.dir/bench_fig6_sim.cpp.o.d"
+  "bench_fig6_sim"
+  "bench_fig6_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

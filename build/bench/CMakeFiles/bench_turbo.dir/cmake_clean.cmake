@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_turbo.dir/bench_turbo.cpp.o"
+  "CMakeFiles/bench_turbo.dir/bench_turbo.cpp.o.d"
+  "bench_turbo"
+  "bench_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_adaptation.dir/cache_adaptation.cpp.o"
+  "CMakeFiles/cache_adaptation.dir/cache_adaptation.cpp.o.d"
+  "cache_adaptation"
+  "cache_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

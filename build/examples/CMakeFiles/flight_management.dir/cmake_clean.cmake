@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_management.dir/flight_management.cpp.o"
+  "CMakeFiles/flight_management.dir/flight_management.cpp.o.d"
+  "flight_management"
+  "flight_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_level.dir/multi_level.cpp.o"
+  "CMakeFiles/multi_level.dir/multi_level.cpp.o.d"
+  "multi_level"
+  "multi_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overrun_trace.dir/overrun_trace.cpp.o"
+  "CMakeFiles/overrun_trace.dir/overrun_trace.cpp.o.d"
+  "overrun_trace"
+  "overrun_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrun_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

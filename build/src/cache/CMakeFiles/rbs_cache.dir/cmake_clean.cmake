@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_cache.dir/waymodel.cpp.o"
+  "CMakeFiles/rbs_cache.dir/waymodel.cpp.o.d"
+  "librbs_cache.a"
+  "librbs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

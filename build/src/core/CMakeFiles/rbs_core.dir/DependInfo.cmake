@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adb.cpp" "src/core/CMakeFiles/rbs_core.dir/adb.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/adb.cpp.o.d"
+  "/root/repo/src/core/amc.cpp" "src/core/CMakeFiles/rbs_core.dir/amc.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/amc.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/rbs_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/closed_form.cpp" "src/core/CMakeFiles/rbs_core.dir/closed_form.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/closed_form.cpp.o.d"
+  "/root/repo/src/core/dbf.cpp" "src/core/CMakeFiles/rbs_core.dir/dbf.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/dbf.cpp.o.d"
+  "/root/repo/src/core/dvfs.cpp" "src/core/CMakeFiles/rbs_core.dir/dvfs.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/dvfs.cpp.o.d"
+  "/root/repo/src/core/edf.cpp" "src/core/CMakeFiles/rbs_core.dir/edf.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/edf.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/rbs_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/rbs_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/rbs_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/qpa.cpp" "src/core/CMakeFiles/rbs_core.dir/qpa.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/qpa.cpp.o.d"
+  "/root/repo/src/core/reset.cpp" "src/core/CMakeFiles/rbs_core.dir/reset.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/reset.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/rbs_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/speedup.cpp" "src/core/CMakeFiles/rbs_core.dir/speedup.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/speedup.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/rbs_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/task.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/rbs_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/tuning.cpp.o.d"
+  "/root/repo/src/core/vd.cpp" "src/core/CMakeFiles/rbs_core.dir/vd.cpp.o" "gcc" "src/core/CMakeFiles/rbs_core.dir/vd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

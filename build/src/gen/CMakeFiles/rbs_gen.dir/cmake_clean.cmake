@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_gen.dir/fms.cpp.o"
+  "CMakeFiles/rbs_gen.dir/fms.cpp.o.d"
+  "CMakeFiles/rbs_gen.dir/taskgen.cpp.o"
+  "CMakeFiles/rbs_gen.dir/taskgen.cpp.o.d"
+  "librbs_gen.a"
+  "librbs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

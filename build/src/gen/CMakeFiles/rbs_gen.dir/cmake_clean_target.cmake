@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librbs_gen.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_multi.dir/mlc.cpp.o"
+  "CMakeFiles/rbs_multi.dir/mlc.cpp.o.d"
+  "librbs_multi.a"
+  "librbs_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

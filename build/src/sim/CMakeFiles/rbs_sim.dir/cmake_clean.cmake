@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rbs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rbs_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/rbs_sim.dir/trace_io.cpp.o.d"
+  "librbs_sim.a"
+  "librbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

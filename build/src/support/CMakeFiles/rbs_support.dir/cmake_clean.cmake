@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_support.dir/cli.cpp.o"
+  "CMakeFiles/rbs_support.dir/cli.cpp.o.d"
+  "CMakeFiles/rbs_support.dir/csv.cpp.o"
+  "CMakeFiles/rbs_support.dir/csv.cpp.o.d"
+  "CMakeFiles/rbs_support.dir/stats.cpp.o"
+  "CMakeFiles/rbs_support.dir/stats.cpp.o.d"
+  "CMakeFiles/rbs_support.dir/table.cpp.o"
+  "CMakeFiles/rbs_support.dir/table.cpp.o.d"
+  "CMakeFiles/rbs_support.dir/taskset_io.cpp.o"
+  "CMakeFiles/rbs_support.dir/taskset_io.cpp.o.d"
+  "librbs_support.a"
+  "librbs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

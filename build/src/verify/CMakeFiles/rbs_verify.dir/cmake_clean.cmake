@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbs_verify.dir/exhaustive.cpp.o"
+  "CMakeFiles/rbs_verify.dir/exhaustive.cpp.o.d"
+  "librbs_verify.a"
+  "librbs_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbs_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

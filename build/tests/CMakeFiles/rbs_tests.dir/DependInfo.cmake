@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/waymodel_test.cpp" "tests/CMakeFiles/rbs_tests.dir/cache/waymodel_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/cache/waymodel_test.cpp.o.d"
+  "/root/repo/tests/core/adb_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/adb_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/adb_test.cpp.o.d"
+  "/root/repo/tests/core/amc_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/amc_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/amc_test.cpp.o.d"
+  "/root/repo/tests/core/budget_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/budget_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/budget_test.cpp.o.d"
+  "/root/repo/tests/core/closed_form_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/closed_form_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/closed_form_test.cpp.o.d"
+  "/root/repo/tests/core/dbf_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/dbf_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/dbf_test.cpp.o.d"
+  "/root/repo/tests/core/dvfs_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/dvfs_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/dvfs_test.cpp.o.d"
+  "/root/repo/tests/core/edf_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/edf_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/edf_test.cpp.o.d"
+  "/root/repo/tests/core/latency_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/latency_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/latency_test.cpp.o.d"
+  "/root/repo/tests/core/options_edge_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/options_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/options_edge_test.cpp.o.d"
+  "/root/repo/tests/core/overhead_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/overhead_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/qpa_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/qpa_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/qpa_test.cpp.o.d"
+  "/root/repo/tests/core/reset_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/reset_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/reset_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/speedup_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/speedup_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/speedup_test.cpp.o.d"
+  "/root/repo/tests/core/task_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/task_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/task_test.cpp.o.d"
+  "/root/repo/tests/core/tuning_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/tuning_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/tuning_test.cpp.o.d"
+  "/root/repo/tests/core/vd_test.cpp" "tests/CMakeFiles/rbs_tests.dir/core/vd_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/core/vd_test.cpp.o.d"
+  "/root/repo/tests/gen/taskgen_test.cpp" "tests/CMakeFiles/rbs_tests.dir/gen/taskgen_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/gen/taskgen_test.cpp.o.d"
+  "/root/repo/tests/integration/analysis_sim_test.cpp" "tests/CMakeFiles/rbs_tests.dir/integration/analysis_sim_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/integration/analysis_sim_test.cpp.o.d"
+  "/root/repo/tests/integration/cross_module_test.cpp" "tests/CMakeFiles/rbs_tests.dir/integration/cross_module_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/integration/cross_module_test.cpp.o.d"
+  "/root/repo/tests/integration/partition_sim_test.cpp" "tests/CMakeFiles/rbs_tests.dir/integration/partition_sim_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/integration/partition_sim_test.cpp.o.d"
+  "/root/repo/tests/multi/mlc_test.cpp" "tests/CMakeFiles/rbs_tests.dir/multi/mlc_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/multi/mlc_test.cpp.o.d"
+  "/root/repo/tests/sim/budget_fallback_test.cpp" "tests/CMakeFiles/rbs_tests.dir/sim/budget_fallback_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/sim/budget_fallback_test.cpp.o.d"
+  "/root/repo/tests/sim/lo_speed_test.cpp" "tests/CMakeFiles/rbs_tests.dir/sim/lo_speed_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/sim/lo_speed_test.cpp.o.d"
+  "/root/repo/tests/sim/scripted_test.cpp" "tests/CMakeFiles/rbs_tests.dir/sim/scripted_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/sim/scripted_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/rbs_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_io_test.cpp" "tests/CMakeFiles/rbs_tests.dir/sim/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/sim/trace_io_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/CMakeFiles/rbs_tests.dir/support/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/support/stats_test.cpp.o.d"
+  "/root/repo/tests/support/table_csv_cli_test.cpp" "tests/CMakeFiles/rbs_tests.dir/support/table_csv_cli_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/support/table_csv_cli_test.cpp.o.d"
+  "/root/repo/tests/support/taskset_io_test.cpp" "tests/CMakeFiles/rbs_tests.dir/support/taskset_io_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/support/taskset_io_test.cpp.o.d"
+  "/root/repo/tests/verify/exhaustive_test.cpp" "tests/CMakeFiles/rbs_tests.dir/verify/exhaustive_test.cpp.o" "gcc" "tests/CMakeFiles/rbs_tests.dir/verify/exhaustive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rbs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rbs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/rbs_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/multi/CMakeFiles/rbs_multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rbs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_table1.dir/find_table1.cpp.o"
+  "CMakeFiles/find_table1.dir/find_table1.cpp.o.d"
+  "find_table1"
+  "find_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_taskset.dir/make_taskset.cpp.o"
+  "CMakeFiles/make_taskset.dir/make_taskset.cpp.o.d"
+  "make_taskset"
+  "make_taskset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_taskset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
