@@ -1,0 +1,136 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+
+namespace rbs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Non-dropped LO tasks in sacrifice order: decreasing HI-mode utilization
+/// (most demand relief per termination first), ties by index.
+std::vector<std::size_t> sacrifice_order(const TaskSet& set) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (!set[i].is_hi() && !set[i].dropped_in_hi()) order.push_back(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return set[a].utilization(Mode::HI) > set[b].utilization(Mode::HI);
+  });
+  return order;
+}
+
+McTask rebuild(const McTask& t) {
+  if (t.is_hi())
+    return McTask::hi(t.name(), t.wcet(Mode::LO), t.wcet(Mode::HI), t.deadline(Mode::LO),
+                      t.deadline(Mode::HI), t.period(Mode::LO));
+  return McTask::lo(t.name(), t.wcet(Mode::LO), t.deadline(Mode::LO), t.period(Mode::LO),
+                    t.deadline(Mode::HI), t.period(Mode::HI));
+}
+
+}  // namespace
+
+Expected<TaskSet> apply_termination(const TaskSet& set,
+                                    const std::vector<std::size_t>& lo_indices) {
+  std::vector<bool> terminate(set.size(), false);
+  for (std::size_t i : lo_indices) {
+    if (i >= set.size())
+      return Status::error("apply_termination: index " + std::to_string(i) + " out of range");
+    if (set[i].is_hi())
+      return Status::error("apply_termination: task " + set[i].name() +
+                           " is HI-criticality and cannot be terminated");
+    if (terminate[i])
+      return Status::error("apply_termination: duplicate index " + std::to_string(i));
+    terminate[i] = true;
+  }
+  std::vector<McTask> tasks;
+  tasks.reserve(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (terminate[i])
+      tasks.push_back(McTask::lo_terminated(set[i].name(), set[i].wcet(Mode::LO),
+                                            set[i].deadline(Mode::LO), set[i].period(Mode::LO)));
+    else
+      tasks.push_back(rebuild(set[i]));
+  }
+  return TaskSet::create(std::move(tasks));
+}
+
+DegradedGuarantee analyze_degraded(const TaskSet& set, double achieved_speed,
+                                   const ResilienceOptions& options) {
+  DegradedGuarantee g;
+  g.achieved_speed = achieved_speed;
+  g.nominal_s_min = min_speedup_value(set);
+  g.s_min_with_fallback = g.nominal_s_min;
+  g.delta_r = kInf;
+  const ResetOptions ropts{options.discard_dropped_carryover, 20'000'000};
+
+  if (hi_mode_schedulable(set, achieved_speed)) {
+    g.schedulable_unmodified = true;
+    g.feasible = true;
+    g.delta_r = resetting_time(set, achieved_speed, ropts).delta_r;
+    return g;
+  }
+
+  // Running the unmodified set at s' < s_min voids Theorem 2 in HI mode.
+  g.hi_mode_misses_licensed = true;
+
+  std::vector<std::size_t> terminated;
+  for (std::size_t candidate : sacrifice_order(set)) {
+    terminated.push_back(candidate);
+    const Expected<TaskSet> reduced = apply_termination(set, terminated);
+    if (!reduced) break;  // cannot happen: candidates are live LO tasks
+    if (hi_mode_schedulable(reduced.value(), achieved_speed)) {
+      g.feasible = true;
+      g.fallback.terminated = terminated;
+      g.s_min_with_fallback = min_speedup_value(reduced.value());
+      g.delta_r = resetting_time(reduced.value(), achieved_speed, ropts).delta_r;
+      return g;
+    }
+  }
+  return g;  // infeasible: even full termination cannot absorb s'
+}
+
+BoostFaultMargin boost_fault_margin(const TaskSet& set) {
+  BoostFaultMargin m;
+  m.s_min = min_speedup_value(set);
+  m.max_fallback.terminated = sacrifice_order(set);
+  const Expected<TaskSet> reduced = apply_termination(set, m.max_fallback.terminated);
+  m.margin = reduced ? min_speedup_value(reduced.value()) : m.s_min;
+  return m;
+}
+
+Expected<TaskSet> inflate_detection_delay(const TaskSet& set, Ticks delta) {
+  if (delta < 0) return Status::error("inflate_detection_delay: delta must be >= 0");
+  std::vector<McTask> tasks;
+  tasks.reserve(set.size());
+  for (const McTask& t : set) {
+    if (!t.is_hi()) {
+      tasks.push_back(rebuild(t));
+      continue;
+    }
+    const Ticks inflated = std::min(t.wcet(Mode::LO) + delta, t.wcet(Mode::HI));
+    tasks.push_back(McTask::hi(t.name(), inflated, t.wcet(Mode::HI), t.deadline(Mode::LO),
+                               t.deadline(Mode::HI), t.period(Mode::LO)));
+  }
+  Expected<TaskSet> inflated = TaskSet::create(std::move(tasks));
+  if (!inflated)
+    return Status::error("detection delay " + std::to_string(delta) +
+                         " breaks the task model: " + inflated.error_message());
+  return inflated;
+}
+
+double degraded_resetting_time(const TaskSet& set, double achieved_speed,
+                               const FallbackPlan& fallback, const ResilienceOptions& options) {
+  const Expected<TaskSet> reduced = apply_termination(set, fallback.terminated);
+  if (!reduced) return kInf;
+  const ResetOptions ropts{options.discard_dropped_carryover, 20'000'000};
+  return resetting_time(reduced.value(), achieved_speed, ropts).delta_r;
+}
+
+}  // namespace rbs

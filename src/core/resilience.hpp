@@ -1,0 +1,106 @@
+// Degraded-guarantee analysis: what survives when the boost fails.
+//
+// Theorem 2 guarantees HI-mode schedulability only at speeds s >= s_min, and
+// Corollary 5's resetting time Delta_R(s) diverges as s drops towards the
+// HI-mode utilization. When the hardware denies, delays or throttles the
+// boost (sim/faults.hpp), the achieved speed s' can fall below s_min; this
+// module answers, offline and exactly via the existing DBF/ADB machinery:
+//
+//   * which *fallback* restores schedulability at s' -- LO tasks are
+//     terminated (Eq. 3) in tiers, largest HI-mode demand first, until
+//     s_min of the reduced set drops to s';
+//   * the per-taskset *boost-fault margin*: the smallest s' that the
+//     maximal admissible fallback (every LO task terminated) tolerates --
+//     below it not even sacrificing all LO service saves the HI tasks;
+//   * the inflated resetting time Delta_R(s') of the fallback set, i.e. how
+//     long the degraded episode lasts in the worst case;
+//   * which deadline misses are *licensed* when the fallback is (or is not)
+//     applied -- the contract sim/watchdog.hpp checks every trace against.
+//
+// Delayed overrun detection (the budget monitor polls every delta instead of
+// trapping the C(LO) crossing) is handled by inflating C(LO) of every HI
+// task by delta and re-running the unchanged analyses on the inflated set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/task.hpp"
+#include "support/status.hpp"
+
+namespace rbs {
+
+struct ResilienceOptions {
+  /// Matches ResetOptions/SimConfig: abort the carry-over job of a
+  /// terminated LO task at the mode switch instead of letting it finish.
+  bool discard_dropped_carryover = false;
+};
+
+/// One fallback: the LO tasks terminated in HI mode, in sacrifice order.
+struct FallbackPlan {
+  std::vector<std::size_t> terminated;  ///< indices into the analyzed set
+  std::size_t tier() const { return terminated.size(); }
+};
+
+/// Verdict of analyze_degraded for one achieved speed s'.
+struct DegradedGuarantee {
+  double achieved_speed = 0.0;
+  /// s_min of the set as given (Theorem 2); the no-fault requirement.
+  double nominal_s_min = 0.0;
+  /// s' >= nominal s_min: the fault is harmless, no fallback needed.
+  bool schedulable_unmodified = false;
+  /// Some termination tier restores HI-mode schedulability at s'.
+  bool feasible = false;
+  /// Minimal tier restoring it (empty when schedulable_unmodified).
+  FallbackPlan fallback;
+  /// s_min of the fallback set (= nominal_s_min when no fallback needed).
+  double s_min_with_fallback = 0.0;
+  /// Worst-case HI-mode dwell Delta_R at s' under the fallback (ticks);
+  /// +inf when infeasible or s' is at/below the HI-mode utilization.
+  double delta_r = 0.0;
+  /// License for the watchdog when the system runs the *unmodified* set at
+  /// s': true iff s' < nominal_s_min, i.e. every HI-mode miss is within the
+  /// voided guarantee. (Running the fallback set instead re-establishes the
+  /// full guarantee; LO-mode misses are never licensed by a boost fault.)
+  bool hi_mode_misses_licensed = false;
+};
+
+/// Degraded guarantee for an achieved HI-mode speed s' (> 0), typically
+/// below s_min. Exact: every tier is checked with Theorem 2 on the reduced
+/// set. Tiers terminate LO tasks in order of decreasing HI-mode utilization
+/// (ties by index), skipping tasks already terminated in the input.
+DegradedGuarantee analyze_degraded(const TaskSet& set, double achieved_speed,
+                                   const ResilienceOptions& options = {});
+
+struct BoostFaultMargin {
+  /// Theorem 2 requirement of the unmodified set.
+  double s_min = 0.0;
+  /// Smallest achieved speed any admissible fallback tolerates: s_min of
+  /// the set with every LO task terminated. s' >= margin  =>  some tier in
+  /// analyze_degraded is feasible; below it HI tasks are beyond saving.
+  double margin = 0.0;
+  /// The maximal fallback realizing the margin.
+  FallbackPlan max_fallback;
+};
+
+/// The per-taskset boost-fault margin (see above).
+BoostFaultMargin boost_fault_margin(const TaskSet& set);
+
+/// Returns `set` with the listed LO tasks terminated in HI mode (Eq. 3).
+/// Errors on out-of-range indices, HI tasks, or duplicates.
+Expected<TaskSet> apply_termination(const TaskSet& set, const std::vector<std::size_t>& lo_indices);
+
+/// Models a budget monitor polling every `delta` ticks: every HI task's
+/// C(LO) grows by delta (capped at C(HI) -- beyond that the overrun
+/// completes undetected and HI mode is never entered for that job). Errors
+/// when the inflated set violates the model constraints (e.g. C(LO) > D(LO)),
+/// in which case no guarantee survives the detection latency.
+Expected<TaskSet> inflate_detection_delay(const TaskSet& set, Ticks delta);
+
+/// Delta_R at `achieved_speed` under `fallback` (ticks); +inf when the
+/// supply never catches the arrived demand.
+double degraded_resetting_time(const TaskSet& set, double achieved_speed,
+                               const FallbackPlan& fallback,
+                               const ResilienceOptions& options = {});
+
+}  // namespace rbs

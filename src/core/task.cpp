@@ -80,15 +80,32 @@ std::vector<std::string> McTask::validate() const {
   return issues;
 }
 
-TaskSet::TaskSet(std::vector<McTask> tasks) : tasks_(std::move(tasks)) {
+namespace {
+
+std::string collect_issues(const std::vector<McTask>& tasks) {
   std::string all_issues;
-  for (const McTask& t : tasks_) {
+  for (const McTask& t : tasks) {
     for (const std::string& issue : t.validate()) {
       all_issues += issue;
       all_issues += "; ";
     }
   }
+  return all_issues;
+}
+
+}  // namespace
+
+TaskSet::TaskSet(std::vector<McTask> tasks) : tasks_(std::move(tasks)) {
+  const std::string all_issues = collect_issues(tasks_);
   if (!all_issues.empty()) throw std::invalid_argument("invalid task set: " + all_issues);
+}
+
+Expected<TaskSet> TaskSet::create(std::vector<McTask> tasks) {
+  const std::string all_issues = collect_issues(tasks);
+  if (!all_issues.empty()) return Status::error("invalid task set: " + all_issues);
+  TaskSet set;
+  set.tasks_ = std::move(tasks);
+  return set;
 }
 
 double TaskSet::utilization(Criticality chi, Mode mode) const {

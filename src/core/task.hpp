@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "support/status.hpp"
 
 namespace rbs {
 
@@ -83,6 +84,11 @@ class TaskSet {
 
   /// Throws std::invalid_argument if any task violates the model constraints.
   explicit TaskSet(std::vector<McTask> tasks);
+
+  /// Non-throwing factory: every model-constraint violation is reported as a
+  /// recoverable Status error instead of an exception. Prefer this on any
+  /// path fed by external input (taskset_io, CLI, generators).
+  static Expected<TaskSet> create(std::vector<McTask> tasks);
 
   const std::vector<McTask>& tasks() const { return tasks_; }
   std::size_t size() const { return tasks_.size(); }

@@ -1,0 +1,101 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace rbs::sim {
+
+namespace {
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+Status spec_status(const FaultSpec& spec, double lo_speed, double hi_speed,
+                   const std::string& where) {
+  if (!finite_nonneg(spec.extra_latency))
+    return Status::error(where + ": extra_latency must be finite and >= 0");
+  if (!finite_nonneg(spec.achieved_speed))
+    return Status::error(where + ": achieved_speed must be finite and >= 0");
+  // Partial boosts land between the nominal and the boost speed; either may
+  // be the larger one (the paper's Example 1 allows hi_speed < lo_speed).
+  if (spec.achieved_speed > 0.0 && spec.achieved_speed > std::max(lo_speed, hi_speed))
+    return Status::error(where + ": achieved_speed exceeds the speed range (not a partial boost)");
+  if (spec.achieved_speed > 0.0 && spec.achieved_speed < lo_speed * 1e-9)
+    return Status::error(where + ": achieved_speed is vanishingly small");
+  if (!finite_nonneg(spec.throttle_after))
+    return Status::error(where + ": throttle_after must be finite and >= 0");
+  if (!finite_nonneg(spec.throttle_speed))
+    return Status::error(where + ": throttle_speed must be finite and >= 0");
+  if (spec.throttle_speed > 0.0 && spec.throttle_after <= 0.0)
+    return Status::error(where + ": throttle_speed set without throttle_after");
+  if (spec.throttle_speed > std::max(lo_speed, hi_speed))
+    return Status::error(where + ": throttle_speed exceeds the speed range");
+  return Status::ok();
+}
+
+bool probability(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+Status validate(const FaultPlan& plan, double lo_speed, double hi_speed) {
+  if (!finite_nonneg(plan.detection_period))
+    return Status::error("faults: detection_period must be finite and >= 0");
+  for (std::size_t i = 0; i < plan.episodes.size(); ++i) {
+    const Status s = spec_status(plan.episodes[i], lo_speed, hi_speed,
+                                 "faults: episode " + std::to_string(i));
+    if (!s) return s;
+  }
+  const FaultPlan::Random& r = plan.random;
+  if (!probability(r.p_deny) || !probability(r.p_partial) || !probability(r.p_late) ||
+      !probability(r.p_throttle))
+    return Status::error("faults: random fault probabilities must lie in [0, 1]");
+  if (!probability(r.partial_min) || !probability(r.partial_max) ||
+      r.partial_min > r.partial_max)
+    return Status::error("faults: partial boost fraction range must satisfy "
+                         "0 <= partial_min <= partial_max <= 1");
+  if (!finite_nonneg(r.late_min) || !finite_nonneg(r.late_max) || r.late_min > r.late_max)
+    return Status::error("faults: extra-latency range must satisfy 0 <= late_min <= late_max");
+  if (!finite_nonneg(r.throttle_after_min) || !finite_nonneg(r.throttle_after_max) ||
+      r.throttle_after_min > r.throttle_after_max)
+    return Status::error("faults: throttle onset range must satisfy "
+                         "0 <= throttle_after_min <= throttle_after_max");
+  if (r.p_throttle > 0.0 && r.throttle_after_max <= 0.0)
+    return Status::error("faults: p_throttle > 0 requires a positive throttle onset range");
+  return Status::ok();
+}
+
+FaultSpec resolve_fault(const FaultPlan& plan, std::size_t episode, Rng& rng, double lo_speed,
+                        double hi_speed) {
+  if (!plan.episodes.empty()) {
+    if (episode < plan.episodes.size()) return plan.episodes[episode];
+    if (plan.recycle) return plan.episodes[episode % plan.episodes.size()];
+  }
+
+  // Random model. Every draw below happens unconditionally so the stream
+  // stays aligned across episodes regardless of which faults fire.
+  FaultSpec spec;
+  const FaultPlan::Random& r = plan.random;
+  const bool deny = rng.bernoulli(r.p_deny);
+  const bool partial = rng.bernoulli(r.p_partial);
+  const double partial_f = rng.uniform(r.partial_min, r.partial_max);
+  const bool late = rng.bernoulli(r.p_late);
+  const double late_v = rng.uniform(r.late_min, r.late_max);
+  const bool throttle = rng.bernoulli(r.p_throttle);
+  const double throttle_at = rng.uniform(r.throttle_after_min, r.throttle_after_max);
+
+  if (deny) {
+    spec.deny_boost = true;
+  } else if (partial) {
+    // Lands between the nominal and the full boost speed; also correct for
+    // the paper's slowdown case (hi_speed < lo_speed, Example 1).
+    spec.achieved_speed = lo_speed + partial_f * (hi_speed - lo_speed);
+  } else if (late) {
+    spec.extra_latency = late_v;
+  } else if (throttle && throttle_at > 0.0) {
+    spec.throttle_after = throttle_at;
+    spec.throttle_speed = lo_speed;
+  }
+  return spec;
+}
+
+}  // namespace rbs::sim

@@ -38,6 +38,12 @@ struct SimResult {
   std::uint64_t mode_switches = 0;     ///< LO -> HI transitions
   std::uint64_t budget_fallbacks = 0;  ///< boost episodes cut short by the
                                        ///< turbo budget (LO tasks terminated)
+  std::uint64_t faults_injected = 0;   ///< HI-mode episodes afflicted by an
+                                       ///< injected boost fault (sim/faults)
+  std::uint64_t throttle_downs = 0;    ///< injected mid-episode throttles
+  std::uint64_t undetected_overruns = 0;  ///< overrunning HI jobs that
+                                          ///< completed between budget polls
+                                          ///< (delayed detection only)
 
   std::vector<DeadlineMiss> misses;
   std::vector<TaskStats> task_stats;  ///< indexed like the task set

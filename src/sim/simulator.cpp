@@ -1,8 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "gen/rng.hpp"
@@ -20,8 +21,27 @@ std::string to_string(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kDeadlineMiss: return "MISS";
     case TraceEvent::Kind::kJobAbandoned: return "abandoned";
     case TraceEvent::Kind::kBudgetFallback: return "budget-fallback";
+    case TraceEvent::Kind::kFaultEngaged: return "fault";
+    case TraceEvent::Kind::kThrottleDown: return "throttle";
+    case TraceEvent::Kind::kUndetectedOverrun: return "undetected-overrun";
   }
   return "?";
+}
+
+bool parse_event_kind(const std::string& name, TraceEvent::Kind& out) {
+  using Kind = TraceEvent::Kind;
+  static constexpr Kind kAll[] = {
+      Kind::kRelease,       Kind::kCompletion,     Kind::kOverrunTrigger,
+      Kind::kModeSwitchHi,  Kind::kReset,          Kind::kDeadlineMiss,
+      Kind::kJobAbandoned,  Kind::kBudgetFallback, Kind::kFaultEngaged,
+      Kind::kThrottleDown,  Kind::kUndetectedOverrun,
+  };
+  for (Kind k : kAll)
+    if (to_string(k) == name) {
+      out = k;
+      return true;
+    }
+  return false;
 }
 
 namespace {
@@ -33,7 +53,14 @@ constexpr double kEpsWork = 1e-6;
 
 class Engine {
  public:
-  Engine(const TaskSet& set, const SimConfig& cfg) : set_(set), cfg_(cfg), rng_(cfg.seed) {}
+  Engine(const TaskSet& set, const SimConfig& cfg)
+      : set_(set),
+        cfg_(cfg),
+        rng_(cfg.seed),
+        // Dedicated fault stream: fault draws must not perturb demand/jitter
+        // draws, so fault-free and faulted runs share arrival processes.
+        fault_rng_(cfg.faults.random.seed != 0 ? cfg.faults.random.seed
+                                               : cfg.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
   SimResult run() {
     init();
@@ -81,6 +108,34 @@ class Engine {
     hi_since_ = 0.0;
     prev_job_.reset();
     next_job_id_ = 0;
+    episode_index_ = 0;
+    cur_fault_ = FaultSpec{};
+    episode_latency_ = 0.0;
+    episode_target_ = cfg_.hi_speed;
+    boost_pending_ = false;
+    throttle_pending_ = false;
+  }
+
+  // ---- budget-monitor polling (delayed overrun detection fault) ----------
+
+  /// Earliest instant at which a budget crossing at `t_exhaust` is noticed.
+  double detection_time(double t_exhaust) const {
+    const double delta = cfg_.faults.detection_period;
+    if (delta <= 0.0) return t_exhaust;
+    const double k = std::max(0.0, std::ceil((t_exhaust - kEpsTime) / delta));
+    return k * delta;
+  }
+
+  double next_poll_after(double now) const {
+    const double delta = cfg_.faults.detection_period;
+    return (std::floor((now + kEpsTime) / delta) + 1.0) * delta;
+  }
+
+  bool at_poll_instant(double now) const {
+    const double delta = cfg_.faults.detection_period;
+    if (delta <= 0.0) return true;
+    const double r = std::fmod(now, delta);
+    return r <= kEpsTime || delta - r <= kEpsTime;
   }
 
   // ---- scheduling -------------------------------------------------------
@@ -124,7 +179,21 @@ class Engine {
       const auto c_lo = static_cast<double>(task.wcet(Mode::LO));
       if (mode_ == Mode::LO && task.is_hi() && running->demand > c_lo + kEpsWork &&
           running->executed < c_lo)
-        t = std::min(t, now + (c_lo - running->executed) / speed_);
+        t = std::min(t, detection_time(now + (c_lo - running->executed) / speed_));
+    }
+
+    // Delayed detection: a job that crossed its budget between polls (and
+    // was possibly preempted since) is noticed at the next poll instant.
+    if (mode_ == Mode::LO && cfg_.faults.detection_period > 0.0) {
+      for (const Job& j : jobs_) {
+        if (j.finished(kEpsWork)) continue;
+        const McTask& task = set_[j.task_index];
+        const auto c_lo = static_cast<double>(task.wcet(Mode::LO));
+        if (task.is_hi() && j.demand > c_lo + kEpsWork && j.executed >= c_lo - kEpsWork) {
+          t = std::min(t, next_poll_after(now));
+          break;
+        }
+      }
     }
 
     for (const Job& j : jobs_)
@@ -132,12 +201,11 @@ class Engine {
           j.deadline > now + kEpsTime)
         t = std::min(t, j.deadline);
 
-    if (mode_ == Mode::HI && !fallback_active_ && cfg_.max_boost_duration > 0.0)
-      t = std::min(t, hi_since_ + cfg_.max_boost_duration);
-
-    if (mode_ == Mode::HI && !fallback_active_ && speed_ != cfg_.hi_speed &&
-        cfg_.speed_change_latency > 0.0)
-      t = std::min(t, hi_since_ + cfg_.speed_change_latency);
+    if (mode_ == Mode::HI && !fallback_active_) {
+      if (cfg_.max_boost_duration > 0.0) t = std::min(t, hi_since_ + cfg_.max_boost_duration);
+      if (boost_pending_) t = std::min(t, hi_since_ + episode_latency_);
+      if (throttle_pending_) t = std::min(t, hi_since_ + cur_fault_.throttle_after);
+    }
 
     return std::max(t, now);
   }
@@ -192,18 +260,34 @@ class Engine {
     // 2. Idle instant in HI mode: reset to LO mode and nominal speed.
     if (mode_ == Mode::HI && active_jobs() == 0) reset(now);
 
-    // 2a. DVFS transition complete: the boost takes effect.
-    if (mode_ == Mode::HI && !fallback_active_ && speed_ != cfg_.hi_speed &&
-        now >= hi_since_ + cfg_.speed_change_latency - kEpsTime)
-      speed_ = cfg_.hi_speed;
+    // 2a. DVFS transition complete: the (possibly faulted) boost engages at
+    // the episode's target speed -- hi_speed, or the partial-boost s'.
+    if (mode_ == Mode::HI && !fallback_active_ && boost_pending_ &&
+        now >= hi_since_ + episode_latency_ - kEpsTime) {
+      speed_ = episode_target_;
+      boost_pending_ = false;
+    }
+
+    // 2a'. Injected throttle-down: the boost collapses mid-episode and stays
+    // collapsed until the idle-instant reset.
+    if (mode_ == Mode::HI && !fallback_active_ && throttle_pending_ &&
+        now >= hi_since_ + cur_fault_.throttle_after - kEpsTime) {
+      throttle_pending_ = false;
+      boost_pending_ = false;
+      speed_ = cur_fault_.throttle_speed > 0.0 ? cur_fault_.throttle_speed : cfg_.lo_speed;
+      ++result_.throttle_downs;
+      record_event(now, TraceEvent::Kind::kThrottleDown);
+    }
 
     // 2b. Turbo budget exhausted: stop overclocking, terminate LO tasks.
     if (mode_ == Mode::HI && !fallback_active_ && cfg_.max_boost_duration > 0.0 &&
         now >= hi_since_ + cfg_.max_boost_duration - kEpsTime)
       budget_fallback(now);
 
-    // 3. Overrun trigger: a HI job reached its C(LO) budget unfinished.
-    if (mode_ == Mode::LO) {
+    // 3. Overrun trigger: a HI job reached its C(LO) budget unfinished. With
+    // a polled budget monitor (delayed-detection fault) the check only fires
+    // at poll instants k * delta.
+    if (mode_ == Mode::LO && at_poll_instant(now)) {
       for (Job& j : jobs_) {
         if (j.finished(kEpsWork)) continue;
         const McTask& task = set_[j.task_index];
@@ -240,6 +324,12 @@ class Engine {
   }
 
   void complete(Job& job, double now) {
+    // An overrunning HI job finishing while still in LO mode slipped past
+    // the budget monitor entirely (possible only with polled detection).
+    if (mode_ == Mode::LO && job.overruns && cfg_.faults.detection_period > 0.0) {
+      ++result_.undetected_overruns;
+      record_event(now, TraceEvent::Kind::kUndetectedOverrun, job);
+    }
     record_event(now, TraceEvent::Kind::kCompletion, job);
     ++result_.jobs_completed;
     TaskStats& stats = result_.task_stats[job.task_index];
@@ -283,6 +373,8 @@ class Engine {
     ++result_.jobs_released;
     ++result_.task_stats[i].released;
     record_event(now, TraceEvent::Kind::kRelease, job);
+    if (cfg_.record_trace)
+      result_.trace.jobs.push_back({static_cast<int>(i), job.id, job.release, job.demand});
   }
 
   double sample_demand(const McTask& task, double now, bool& overruns) {
@@ -311,11 +403,24 @@ class Engine {
 
   void switch_to_hi(double now) {
     mode_ = Mode::HI;
-    speed_ = cfg_.speed_change_latency > 0.0 ? cfg_.lo_speed : cfg_.hi_speed;
+    cur_fault_ =
+        resolve_fault(cfg_.faults, episode_index_++, fault_rng_, cfg_.lo_speed, cfg_.hi_speed);
+    episode_latency_ = cfg_.speed_change_latency + cur_fault_.extra_latency;
+    episode_target_ = cur_fault_.deny_boost ? cfg_.lo_speed
+                      : cur_fault_.achieved_speed > 0.0 ? cur_fault_.achieved_speed
+                                                        : cfg_.hi_speed;
+    speed_ = episode_latency_ > 0.0 ? cfg_.lo_speed : episode_target_;
+    boost_pending_ = speed_ != episode_target_;
+    // A denied boost never reaches a speed worth throttling down from.
+    throttle_pending_ = !cur_fault_.deny_boost && cur_fault_.throttle_after > 0.0;
     hi_since_ = now;
     last_switch_ = now;
     ++result_.mode_switches;
     record_event(now, TraceEvent::Kind::kModeSwitchHi);
+    if (cur_fault_.any()) {
+      ++result_.faults_injected;
+      record_event(now, TraceEvent::Kind::kFaultEngaged);
+    }
 
     std::vector<std::uint64_t> abandoned;
     for (Job& j : jobs_) {
@@ -343,12 +448,17 @@ class Engine {
     mode_ = Mode::LO;
     speed_ = cfg_.lo_speed;
     fallback_active_ = false;
+    boost_pending_ = false;
+    throttle_pending_ = false;
+    cur_fault_ = FaultSpec{};
     record_event(now, TraceEvent::Kind::kReset);
   }
 
   void budget_fallback(double now) {
     fallback_active_ = true;
     speed_ = cfg_.lo_speed;  // overclocking ends here
+    boost_pending_ = false;
+    throttle_pending_ = false;
     ++result_.budget_fallbacks;
     record_event(now, TraceEvent::Kind::kBudgetFallback);
     std::vector<std::uint64_t> abandoned;
@@ -383,6 +493,15 @@ class Engine {
   const TaskSet& set_;
   const SimConfig& cfg_;
   Rng rng_;
+  Rng fault_rng_;
+
+  // Per-episode boost-fault state (sim/faults.hpp).
+  FaultSpec cur_fault_;
+  double episode_latency_ = 0.0;  ///< speed_change_latency + injected extra
+  double episode_target_ = 1.0;   ///< speed the boost will reach this episode
+  bool boost_pending_ = false;    ///< engagement latency still running
+  bool throttle_pending_ = false; ///< injected throttle not yet fired
+  std::size_t episode_index_ = 0; ///< 0-based count of mode switches so far
 
   std::vector<TaskState> states_;
   std::vector<Job> jobs_;
@@ -396,14 +515,69 @@ class Engine {
   SimResult result_;
 };
 
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
 }  // namespace
 
-SimResult simulate(const TaskSet& set, const SimConfig& config) {
-  assert(config.horizon > 0.0);
-  assert(config.lo_speed > 0.0 && config.hi_speed > 0.0);
-  assert(config.scripted_arrivals.empty() || config.scripted_arrivals.size() == set.size());
+Status validate_config(const TaskSet& set, const SimConfig& cfg) {
+  if (!std::isfinite(cfg.horizon) || cfg.horizon <= 0.0)
+    return Status::error("config: horizon must be finite and > 0");
+  if (!std::isfinite(cfg.lo_speed) || cfg.lo_speed <= 0.0)
+    return Status::error("config: lo_speed must be finite and > 0");
+  if (!std::isfinite(cfg.hi_speed) || cfg.hi_speed <= 0.0)
+    return Status::error("config: hi_speed must be finite and > 0");
+  if (!finite_nonneg(cfg.speed_change_latency))
+    return Status::error("config: speed_change_latency must be finite and >= 0");
+  if (!finite_nonneg(cfg.release_jitter))
+    return Status::error("config: release_jitter must be finite and >= 0");
+  if (!finite_nonneg(cfg.min_overrun_separation))
+    return Status::error("config: min_overrun_separation must be finite and >= 0");
+  if (!finite_nonneg(cfg.initial_offset_spread))
+    return Status::error("config: initial_offset_spread must be finite and >= 0");
+  if (!finite_nonneg(cfg.max_boost_duration))
+    return Status::error("config: max_boost_duration must be finite and >= 0");
+  if (!std::isfinite(cfg.demand.overrun_probability) || cfg.demand.overrun_probability < 0.0 ||
+      cfg.demand.overrun_probability > 1.0)
+    return Status::error("config: overrun_probability must lie in [0, 1]");
+  if (!finite_nonneg(cfg.demand.base_fraction_min) || !finite_nonneg(cfg.demand.base_fraction_max))
+    return Status::error("config: demand base fractions must be finite and >= 0");
+
+  if (!cfg.scripted_arrivals.empty()) {
+    if (cfg.scripted_arrivals.size() != set.size())
+      return Status::error("config: scripted_arrivals has " +
+                           std::to_string(cfg.scripted_arrivals.size()) + " entries for " +
+                           std::to_string(set.size()) + " tasks");
+    for (std::size_t i = 0; i < cfg.scripted_arrivals.size(); ++i) {
+      double prev = -1.0;
+      for (const SimConfig::ScriptedJob& j : cfg.scripted_arrivals[i]) {
+        if (!finite_nonneg(j.release))
+          return Status::error("config: scripted release of task " + std::to_string(i) +
+                               " must be finite and >= 0");
+        if (!std::isfinite(j.demand) || j.demand <= 0.0)
+          return Status::error("config: scripted demand of task " + std::to_string(i) +
+                               " must be finite and > 0");
+        if (j.release < prev)
+          return Status::error("config: scripted releases of task " + std::to_string(i) +
+                               " must be non-decreasing");
+        prev = j.release;
+      }
+    }
+  }
+
+  return validate(cfg.faults, cfg.lo_speed, cfg.hi_speed);
+}
+
+Expected<SimResult> try_simulate(const TaskSet& set, const SimConfig& config) {
+  const Status status = validate_config(set, config);
+  if (!status) return status;
   Engine engine(set, config);
   return engine.run();
+}
+
+SimResult simulate(const TaskSet& set, const SimConfig& config) {
+  Expected<SimResult> result = try_simulate(set, config);
+  if (!result) throw std::invalid_argument("simulate: " + result.error_message());
+  return std::move(result).value();
 }
 
 }  // namespace rbs::sim

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "core/task.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
+#include "support/status.hpp"
 
 namespace rbs::sim {
 
@@ -78,6 +80,10 @@ struct SimConfig {
   std::uint64_t seed = 1;
   bool record_trace = false;
 
+  /// Injected boost faults (sim/faults.hpp). Default: no faults, the
+  /// paper's idealized speedup mechanism.
+  FaultPlan faults;
+
   /// Scripted arrivals: when non-empty, entry i replaces the generated
   /// release process of task i with an explicit list of jobs (ascending
   /// release times; demand in work ticks). Tasks with an empty list release
@@ -93,7 +99,21 @@ struct SimConfig {
   std::vector<std::vector<ScriptedJob>> scripted_arrivals;
 };
 
+/// Checks `config` against `set` before any event-loop work: finite positive
+/// horizon and speeds, probabilities in [0, 1], non-negative latencies and
+/// separations, well-formed scripted arrivals (size match, ascending release
+/// times, positive finite demands) and a valid fault plan. NaN anywhere is an
+/// error. Note hi_speed < lo_speed is deliberately *allowed*: the paper's
+/// Example 1 shows systems that slow down in HI mode (s_min < 1).
+Status validate_config(const TaskSet& set, const SimConfig& config);
+
 /// Runs one simulation of `set` under `config`. Stateless between calls.
+/// Rejects invalid configurations via validate_config and returns the error
+/// instead of entering the event loop.
+Expected<SimResult> try_simulate(const TaskSet& set, const SimConfig& config);
+
+/// Legacy wrapper around try_simulate: throws std::invalid_argument on an
+/// invalid configuration (previously undefined behavior).
 SimResult simulate(const TaskSet& set, const SimConfig& config);
 
 }  // namespace rbs::sim

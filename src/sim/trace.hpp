@@ -32,6 +32,10 @@ struct TraceEvent {
     kJobAbandoned,    ///< carry-over job of a terminated LO task discarded
     kBudgetFallback,  ///< turbo budget exhausted: nominal speed, LO tasks
                       ///< terminated for the rest of the episode
+    kFaultEngaged,       ///< an injected boost fault armed at this mode switch
+    kThrottleDown,       ///< injected mid-episode throttle: speed collapsed
+    kUndetectedOverrun,  ///< an overrunning HI job completed in LO mode
+                         ///< between budget-monitor polls (no mode switch)
   };
   double time = 0.0;
   Kind kind = Kind::kRelease;
@@ -39,12 +43,26 @@ struct TraceEvent {
   std::uint64_t job_id = 0;
 };
 
+/// One released job with its sampled demand. Recorded so a run can be
+/// replayed (and shrunk) deterministically via SimConfig::scripted_arrivals
+/// without re-rolling the demand model.
+struct JobRecord {
+  int task_index = 0;
+  std::uint64_t job_id = 0;
+  double release = 0.0;
+  double demand = 0.0;
+};
+
 struct Trace {
   std::vector<TraceSegment> segments;
   std::vector<TraceEvent> events;
+  std::vector<JobRecord> jobs;
 };
 
 /// Human-readable name of an event kind.
 std::string to_string(TraceEvent::Kind kind);
+
+/// Inverse of to_string; false when `name` is not an event kind.
+bool parse_event_kind(const std::string& name, TraceEvent::Kind& out);
 
 }  // namespace rbs::sim

@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string_view>
 
@@ -58,6 +59,28 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   if (!value) return fallback;
   if (value->empty()) return true;
   return *value == "1" || *value == "true" || *value == "yes" || *value == "on";
+}
+
+Expected<double> CliArgs::get_double_checked(const std::string& name, double fallback) const {
+  const auto value = raw(name);
+  if (!value || value->empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end != value->c_str() + value->size())
+    return Status::error("--" + name + ": cannot parse '" + *value + "' as a number");
+  return parsed;
+}
+
+Expected<std::int64_t> CliArgs::get_int_checked(const std::string& name,
+                                                std::int64_t fallback) const {
+  const auto value = raw(name);
+  if (!value || value->empty()) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end != value->c_str() + value->size() || errno == ERANGE)
+    return Status::error("--" + name + ": cannot parse '" + *value + "' as an integer");
+  return parsed;
 }
 
 std::vector<std::string> CliArgs::flag_names() const {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "support/status.hpp"
+
 namespace rbs {
 
 class CliArgs {
@@ -23,6 +25,12 @@ class CliArgs {
   double get_double(const std::string& name, double fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Checked variants: return the fallback when the flag is absent, but a
+  /// Status error when it is present and malformed (the unchecked getters
+  /// above silently coerce garbage to 0 via strtod/strtoll).
+  Expected<double> get_double_checked(const std::string& name, double fallback) const;
+  Expected<std::int64_t> get_int_checked(const std::string& name, std::int64_t fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

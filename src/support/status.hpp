@@ -1,0 +1,83 @@
+// Recoverable-error plumbing for the I/O and runtime boundaries.
+//
+// The analysis core works on validated in-memory task sets and stays
+// exception-free by construction; the *boundaries* -- task-set files, CLI
+// flags, simulator configurations, serialized traces -- receive arbitrary
+// input and must reject it without aborting deep inside DBF math or the
+// event loop. `Status` carries an ok/error verdict with a human-readable
+// message; `Expected<T>` couples it with a value for parse-or-fail APIs.
+//
+// Header-only on purpose: every layer (core, sim, support, tools) can report
+// errors through the same type without adding link-time dependencies.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace rbs {
+
+/// An ok/error verdict with a diagnostic message (empty iff ok).
+class Status {
+ public:
+  /// Default-constructed status is ok.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why there is none.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "Expected constructed from an ok Status carries no value");
+    if (status_.is_ok()) status_ = Status::error("internal: ok status without value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+  const std::string& error_message() const { return status_.message(); }
+
+  /// Value access; throws std::logic_error when the Expected holds an error
+  /// (programming bug -- callers must test is_ok() first).
+  const T& value() const& {
+    if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
+    return *value_;
+  }
+  T& value() & {
+    if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const { return value_ ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace rbs

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <fstream>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -53,6 +54,7 @@ bool parse_ticks(const std::string& field, Ticks& out) {
 
 std::variant<TaskSet, ParseError> read_task_set(std::istream& in) {
   std::vector<McTask> tasks;
+  std::set<std::string> names;
   std::string line;
   int line_no = 0;
   while (std::getline(in, line)) {
@@ -68,6 +70,8 @@ std::variant<TaskSet, ParseError> read_task_set(std::istream& in) {
                                      std::to_string(fields.size())};
     const std::string& name = fields[0];
     if (name.empty()) return ParseError{line_no, "empty task name"};
+    if (!names.insert(name).second)
+      return ParseError{line_no, "duplicate task name '" + name + "'"};
 
     std::string crit = fields[1];
     std::transform(crit.begin(), crit.end(), crit.begin(),
@@ -101,6 +105,25 @@ std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return ParseError{0, "cannot open '" + path + "'"};
   return read_task_set(in);
+}
+
+namespace {
+
+Expected<TaskSet> fold_error(std::variant<TaskSet, ParseError> result) {
+  if (auto* err = std::get_if<ParseError>(&result)) {
+    if (err->line > 0)
+      return Status::error("line " + std::to_string(err->line) + ": " + err->message);
+    return Status::error(err->message);
+  }
+  return std::get<TaskSet>(std::move(result));
+}
+
+}  // namespace
+
+Expected<TaskSet> load_task_set(std::istream& in) { return fold_error(read_task_set(in)); }
+
+Expected<TaskSet> load_task_set_file(const std::string& path) {
+  return fold_error(read_task_set_file(path));
 }
 
 void write_task_set(std::ostream& out, const TaskSet& set) {

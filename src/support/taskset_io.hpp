@@ -17,6 +17,7 @@
 #include <variant>
 
 #include "core/task.hpp"
+#include "support/status.hpp"
 
 namespace rbs {
 
@@ -31,6 +32,12 @@ std::variant<TaskSet, ParseError> read_task_set(std::istream& in);
 
 /// Parses a task set from a file path.
 std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path);
+
+/// Expected-returning variants of the readers: the ParseError is folded into
+/// the error message ("line N: ..."), so callers can propagate a single
+/// Status through CLI plumbing instead of unpacking the variant.
+Expected<TaskSet> load_task_set(std::istream& in);
+Expected<TaskSet> load_task_set_file(const std::string& path);
 
 /// Writes `set` in the same format (round-trips through read_task_set).
 void write_task_set(std::ostream& out, const TaskSet& set);

@@ -1,0 +1,329 @@
+// Randomized stress harness for the runtime protocol under boost faults.
+//
+// Sweeps generated task sets x fault plans, runs the discrete-event
+// simulator, and checks every recorded trace with sim/watchdog.hpp against
+// the guarantee core/resilience.hpp derives for the speed each scenario
+// actually achieves:
+//
+//   * no faults, hi_speed >= s_min      -> zero violations, dwell <= Delta_R;
+//   * boost denied/partial/throttled    -> HI-mode misses licensed iff the
+//     achieved speed falls below s_min of the set as simulated;
+//   * boost denied + analysis fallback  -> the reduced set re-establishes
+//     the guarantee: zero violations again;
+//   * delayed overrun detection         -> LO-mode misses licensed (the
+//     LO-mode test is void while overruns run undetected).
+//
+// Every random draw descends from --seed, and faults are pre-resolved into
+// scripted episodes, so a run replays bit-for-bit. On a violation the
+// harness re-runs the trace via SimConfig::scripted_arrivals and greedily
+// shrinks the job list to a minimal reproducer before reporting it.
+// Exit codes: 0 = clean sweep, 1 = unlicensed violation, 2 = bad usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/edf.hpp"
+#include "core/resilience.hpp"
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+#include "core/tuning.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/watchdog.hpp"
+#include "support/cli.hpp"
+#include "support/taskset_io.hpp"
+
+namespace {
+
+using rbs::Expected;
+using rbs::TaskSet;
+using rbs::sim::SimConfig;
+using rbs::sim::SimResult;
+using rbs::sim::WatchdogOptions;
+using rbs::sim::WatchdogReport;
+
+struct Scenario {
+  std::string name;
+  SimConfig cfg;
+  WatchdogOptions opts;
+  TaskSet set;  ///< the set actually simulated (fallback may reduce it)
+};
+
+/// Smallest speed the processor can be running at during any HI-mode episode
+/// of the plan (the speed the degraded guarantee must be computed for).
+double worst_achieved_speed(const SimConfig& cfg) {
+  double worst = cfg.hi_speed;
+  for (const rbs::sim::FaultSpec& e : cfg.faults.episodes) {
+    if (e.deny_boost) worst = std::min(worst, cfg.lo_speed);
+    if (e.achieved_speed > 0.0) worst = std::min(worst, e.achieved_speed);
+    if (e.throttle_after > 0.0)
+      worst = std::min(worst, e.throttle_speed > 0.0 ? e.throttle_speed : cfg.lo_speed);
+  }
+  return worst;
+}
+
+/// License + dwell bound for running `set` under `cfg`, derived from the
+/// degraded-guarantee analysis at the worst achieved speed.
+WatchdogOptions derive_license(const TaskSet& set, const SimConfig& cfg) {
+  WatchdogOptions opts;
+  const double achieved = worst_achieved_speed(cfg);
+  opts.license.hi_mode_misses = !rbs::hi_mode_schedulable(set, achieved);
+  // Between budget polls an overrun runs undetected in LO mode, voiding the
+  // LO-mode test; the latency analyses similarly exclude the engagement gap.
+  opts.license.lo_mode_misses = cfg.faults.detection_period > 0.0;
+  bool latency_free = cfg.speed_change_latency == 0.0;
+  for (const rbs::sim::FaultSpec& e : cfg.faults.episodes)
+    if (e.extra_latency > 0.0) latency_free = false;
+  if (latency_free && !opts.license.hi_mode_misses && cfg.faults.detection_period == 0.0 &&
+      cfg.max_boost_duration == 0.0)
+    opts.delta_r_bound = rbs::resetting_time_value(set, achieved);
+  return opts;
+}
+
+rbs::sim::FaultSpec draw_fault(rbs::Rng& rng, int cls, double lo, double hi) {
+  rbs::sim::FaultSpec spec;
+  switch (cls) {
+    case 0: spec.deny_boost = true; break;
+    case 1: spec.achieved_speed = lo + rng.uniform(0.25, 0.75) * (hi - lo); break;
+    case 2: spec.extra_latency = rng.uniform(0.5, 4.0); break;
+    default:
+      spec.throttle_after = rng.uniform(0.5, 4.0);
+      spec.throttle_speed = lo + rng.uniform(0.0, 0.5) * (hi - lo);
+      break;
+  }
+  return spec;
+}
+
+std::vector<std::vector<SimConfig::ScriptedJob>> script_from_trace(const TaskSet& set,
+                                                                  const SimResult& result) {
+  std::vector<std::vector<SimConfig::ScriptedJob>> script(set.size());
+  for (const rbs::sim::JobRecord& j : result.trace.jobs)
+    script[static_cast<std::size_t>(j.task_index)].push_back({j.release, j.demand});
+  return script;
+}
+
+std::size_t job_count(const std::vector<std::vector<SimConfig::ScriptedJob>>& script) {
+  std::size_t n = 0;
+  for (const auto& jobs : script) n += jobs.size();
+  return n;
+}
+
+/// Runs the scripted scenario and reports whether any violation remains.
+bool still_fails(const Scenario& sc, const std::vector<std::vector<SimConfig::ScriptedJob>>& s) {
+  SimConfig cfg = sc.cfg;
+  cfg.scripted_arrivals = s;
+  const Expected<SimResult> result = rbs::sim::try_simulate(sc.set, cfg);
+  if (!result) return false;
+  return !rbs::sim::check_trace(sc.set, cfg, result.value(), sc.opts).ok();
+}
+
+/// Greedy delta-debugging over the flattened job list: repeatedly try to
+/// drop chunks (halving the chunk size) while the violation persists.
+std::vector<std::vector<SimConfig::ScriptedJob>> shrink(
+    const Scenario& sc, std::vector<std::vector<SimConfig::ScriptedJob>> script) {
+  struct Ref {
+    std::size_t task, index;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    std::vector<Ref> refs;
+    for (std::size_t t = 0; t < script.size(); ++t)
+      for (std::size_t i = 0; i < script[t].size(); ++i) refs.push_back({t, i});
+    if (refs.empty()) break;
+    for (std::size_t chunk = refs.size(); chunk >= 1; chunk /= 2) {
+      for (std::size_t begin = 0; begin < refs.size(); begin += chunk) {
+        const std::size_t end = std::min(begin + chunk, refs.size());
+        auto candidate = script;
+        // Erase back-to-front so indices stay valid.
+        for (std::size_t k = end; k > begin; --k) {
+          const Ref& r = refs[k - 1];
+          candidate[r.task].erase(candidate[r.task].begin() +
+                                  static_cast<std::ptrdiff_t>(r.index));
+        }
+        if (still_fails(sc, candidate)) {
+          script = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) break;
+      if (chunk == 1) break;
+    }
+  }
+  return script;
+}
+
+void report_failure(const Scenario& sc, const WatchdogReport& report,
+                    const std::vector<std::vector<SimConfig::ScriptedJob>>& repro,
+                    const std::string& dump_prefix) {
+  std::cerr << "FAIL [" << sc.name << "] " << report.violations.size() << " violation(s):\n";
+  for (const rbs::sim::Violation& v : report.violations)
+    std::cerr << "  t=" << v.time << " " << rbs::sim::to_string(v.kind) << " task=" << v.task_index
+              << " job=" << v.job_id << ": " << v.detail << "\n";
+  std::cerr << "minimal repro: " << job_count(repro) << " job(s)\n";
+  std::cerr << "config: lo_speed=" << sc.cfg.lo_speed << " hi_speed=" << sc.cfg.hi_speed
+            << " horizon=" << sc.cfg.horizon << " seed=" << sc.cfg.seed
+            << " detection_period=" << sc.cfg.faults.detection_period << "\n";
+  std::cerr << "task set:\n";
+  rbs::write_task_set(std::cerr, sc.set);
+  std::cerr << "jobs:\n";
+  for (std::size_t t = 0; t < repro.size(); ++t)
+    for (const SimConfig::ScriptedJob& j : repro[t])
+      std::cerr << "  task=" << t << " release=" << j.release << " demand=" << j.demand << "\n";
+
+  if (!dump_prefix.empty()) {
+    rbs::write_task_set_file(dump_prefix + ".taskset", sc.set);
+    SimConfig cfg = sc.cfg;
+    cfg.scripted_arrivals = repro;
+    const Expected<SimResult> rerun = rbs::sim::try_simulate(sc.set, cfg);
+    if (rerun) {
+      std::ofstream out(dump_prefix + ".trace.json");
+      rbs::sim::write_trace_json(out, sc.set, rerun.value());
+      std::cerr << "repro written to " << dump_prefix << ".{taskset,trace.json}\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rbs::CliArgs args(argc, argv);
+  if (args.get_bool("help")) {
+    std::cout << "usage: stress_protocol [--seed N] [--sets N] [--plans N] [--horizon T]\n"
+              << "                       [--u-bound U] [--dump-repro PREFIX] [--verbose]\n";
+    return 0;
+  }
+  for (const std::string& flag : args.flag_names())
+    if (flag != "seed" && flag != "sets" && flag != "plans" && flag != "horizon" &&
+        flag != "u-bound" && flag != "dump-repro" && flag != "verbose" && flag != "help") {
+      std::cerr << "unknown flag --" << flag << "\n";
+      return 2;
+    }
+
+  const Expected<std::int64_t> seed = args.get_int_checked("seed", 1);
+  const Expected<std::int64_t> n_sets = args.get_int_checked("sets", 8);
+  const Expected<std::int64_t> n_plans = args.get_int_checked("plans", 4);
+  const Expected<double> horizon = args.get_double_checked("horizon", 20000.0);
+  const Expected<double> u_bound = args.get_double_checked("u-bound", 0.5);
+  for (const rbs::Status& s :
+       {seed.status(), n_sets.status(), n_plans.status(), horizon.status(), u_bound.status()})
+    if (!s) {
+      std::cerr << s.message() << "\n";
+      return 2;
+    }
+  const std::string dump_prefix = args.get_string("dump-repro", "");
+  const bool verbose = args.get_bool("verbose");
+
+  rbs::Rng master(static_cast<std::uint64_t>(seed.value()));
+  std::size_t runs = 0, licensed_misses = 0, faulted_runs = 0, fallback_runs = 0;
+  int exit_code = 0;
+
+  for (std::int64_t si = 0; si < n_sets.value(); ++si) {
+    rbs::Rng rng(master.fork_seed());
+
+    // -- generate a LO-mode-schedulable set with finite s_min ---------------
+    // Periods are kept well under the horizon so each run releases hundreds
+    // of jobs; x and y are spread out so s_min lands on both sides of 1
+    // (boost-denied is only interesting when s_min > lo_speed).
+    rbs::GenParams gen;
+    gen.u_bound = u_bound.value();
+    gen.period_min = 20;
+    gen.period_max = 2000;
+    std::optional<rbs::ImplicitSet> skeleton;
+    for (int attempt = 0; attempt < 16 && !skeleton; ++attempt)
+      skeleton = rbs::generate_task_set(gen, rng);
+    if (!skeleton) continue;
+    const rbs::MinXResult mx = rbs::min_x_for_lo(*skeleton);
+    if (!mx.feasible) continue;
+    const double x = std::min(1.0, mx.x * (1.0 + rng.uniform(0.02, 0.6)));
+    const double y = rng.uniform(1.05, 2.5);
+    const TaskSet set = skeleton->materialize(x, y);
+    const double s_min = rbs::min_speedup_value(set);
+    if (!std::isfinite(s_min) || !rbs::lo_mode_schedulable(set)) continue;
+
+    SimConfig base;
+    base.horizon = horizon.value();
+    base.hi_speed = s_min * (1.0 + rng.uniform(0.05, 0.5));
+    base.demand.overrun_probability = rng.uniform(0.05, 0.5);
+    base.release_jitter = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.3) : 0.0;
+    base.record_trace = true;
+    base.seed = rng.fork_seed();
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"no-fault", base, derive_license(set, base), set});
+
+    for (std::int64_t pi = 0; pi < n_plans.value(); ++pi) {
+      SimConfig cfg = base;
+      cfg.seed = rng.fork_seed();
+      // Pre-resolve the faults into a scripted, recycled episode list so the
+      // achieved speeds are known statically (replay + licensing need them).
+      const int cls = static_cast<int>(rng.uniform_int(0, 4));  // 4 = mixed
+      const std::size_t n_episodes = static_cast<std::size_t>(rng.uniform_int(2, 6));
+      for (std::size_t e = 0; e < n_episodes; ++e) {
+        const int episode_cls = cls == 4 ? static_cast<int>(rng.uniform_int(0, 3)) : cls;
+        cfg.faults.episodes.push_back(rng.bernoulli(0.75)
+                                          ? draw_fault(rng, episode_cls, cfg.lo_speed, cfg.hi_speed)
+                                          : rbs::sim::FaultSpec{});
+      }
+      cfg.faults.recycle = true;
+      if (rng.bernoulli(0.3)) cfg.faults.detection_period = rng.uniform(1.0, 8.0);
+      scenarios.push_back({"faults-" + std::to_string(pi), cfg, derive_license(set, cfg), set});
+    }
+
+    // -- boost denied + the analysis-chosen fallback ------------------------
+    {
+      SimConfig cfg = base;
+      cfg.seed = rng.fork_seed();
+      cfg.faults.episodes.push_back({});
+      cfg.faults.episodes.back().deny_boost = true;
+      cfg.faults.recycle = true;
+      const rbs::DegradedGuarantee d = rbs::analyze_degraded(set, cfg.lo_speed);
+      if (d.feasible && !d.schedulable_unmodified) {
+        const Expected<TaskSet> reduced = rbs::apply_termination(set, d.fallback.terminated);
+        if (reduced) {
+          WatchdogOptions opts = derive_license(reduced.value(), cfg);
+          opts.delta_r_bound = d.delta_r;
+          scenarios.push_back({"denied+fallback", cfg, opts, reduced.value()});
+          ++fallback_runs;
+        }
+      }
+    }
+
+    for (const Scenario& sc : scenarios) {
+      const Expected<SimResult> result = rbs::sim::try_simulate(sc.set, sc.cfg);
+      if (!result) {
+        std::cerr << "config rejected [" << sc.name << "]: " << result.error_message() << "\n";
+        return 2;
+      }
+      ++runs;
+      if (result.value().faults_injected > 0) ++faulted_runs;
+      if (sc.opts.license.hi_mode_misses || sc.opts.license.lo_mode_misses)
+        licensed_misses += result.value().misses.size();
+      const WatchdogReport report = rbs::sim::check_trace(sc.set, sc.cfg, result.value(), sc.opts);
+      if (verbose)
+        std::cout << "set " << si << " [" << sc.name << "]: " << result.value().mode_switches
+                  << " switches, " << result.value().misses.size() << " misses, "
+                  << report.violations.size() << " violations\n";
+      if (report.ok()) continue;
+
+      exit_code = 1;
+      auto script = script_from_trace(sc.set, result.value());
+      if (still_fails(sc, script)) script = shrink(sc, std::move(script));
+      report_failure(sc, report, script, dump_prefix);
+    }
+    if (exit_code != 0) break;
+  }
+
+  std::cout << "stress_protocol: " << runs << " runs (" << faulted_runs << " faulted, "
+            << fallback_runs << " with fallback), " << licensed_misses << " licensed miss(es), "
+            << (exit_code == 0 ? "no" : "FOUND") << " unlicensed violations\n";
+  return exit_code;
+}
