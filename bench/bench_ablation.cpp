@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
       const TightenResult greedy = tighten_lo_deadlines(skeleton->materialize(mx.x, 2.0));
       s_minx.push_back(s_common);
       s_greedy.push_back(greedy.s_min);
-      if (greedy.s_min < s_common - 1e-9) ++greedy_wins;
+      if (definitely_lt(greedy.s_min, s_common, kSpeedTol)) ++greedy_wins;
     }
     t3.add_row({TextTable::num(u, 1),
                 TextTable::num(total ? 100.0 * inf_at_one / total : 0.0, 0),

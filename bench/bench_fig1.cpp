@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       if (csv)
         csv->write_row({v.name, std::to_string(d), TextTable::num(demand, 0),
                         TextTable::num(supply, 6)});
-      if (supply + 1e-9 < demand) {
+      if (definitely_lt(supply, demand, kSpeedTol)) {
         std::cout << "ERROR: demand exceeds supply at Delta=" << d << "\n";
         return 1;
       }

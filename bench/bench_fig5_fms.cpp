@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
       if (set) dr = resetting_time_value(*set, s);
       row.push_back(TextTable::num(dr, 0));
       if (csv_b) csv_b->write_row_numeric({s, gamma, dr});
-      if (std::abs(s - 2.0) < 1e-6 && std::isfinite(dr)) worst_at_2 = std::max(worst_at_2, dr);
+      if (approx_eq(s, 2.0, kTimeTol) && std::isfinite(dr)) worst_at_2 = std::max(worst_at_2, dr);
     }
     tb.add_row(std::move(row));
   }

@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
         const TaskSet set = skeleton->materialize(*x_min, y);
         const double s_min = min_speedup_value(set);
         smin_by_u_y[u][y].push_back(s_min);
-        if (y == 2.0) {
+        if (approx_eq(y, 2.0, kSpeedTol)) {
           smin_by_u[u].push_back(s_min);
           reset_by_u[u].push_back(resetting_time_value(set, 3.0));
           for (double s : speeds)

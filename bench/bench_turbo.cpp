@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
       const LevelChoice c = energy_optimal_level(set, menu);
       if (!c.feasible) continue;
       for (std::size_t k = 0; k < std::size(speeds); ++k)
-        if (std::abs(speeds[k] - c.level.speed) < 1e-9) ++optimal_counts[k];
+        if (approx_eq(speeds[k], c.level.speed, kSpeedTol)) ++optimal_counts[k];
     }
     std::cout << "\nenergy-optimal level histogram:";
     for (std::size_t k = 0; k < std::size(speeds); ++k)
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
       bounds.push_back(100.0 * dr / t_o);
       duties.push_back(100.0 * boosted / cfg.horizon);
       // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
-      if (duties.back() > bounds.back() + 100.0 * dr / cfg.horizon + 1e-6) {
+      if (definitely_gt(duties.back(), bounds.back() + 100.0 * dr / cfg.horizon, kTimeTol)) {
         std::cout << "ERROR: executed duty cycle exceeds the bound\n";
         return 1;
       }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       if (!mx.feasible) continue;
       const TaskSet set = skeleton->materialize(mx.x, 2.0);
       // s_min, nudged above U_HI so Delta_R is finite (s_min can equal U_HI).
-      const double s = std::max({min_speedup_value(set) + 1e-9,
+      const double s = std::max({min_speedup_value(set) + kSpeedTol.absolute,
                                  set.total_utilization(Mode::HI) + 0.02, 1e-3});
       const double delta_r = resetting_time_value(set, s);
       if (!std::isfinite(delta_r)) continue;
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
                TextTable::num(static_cast<long long>(switches)),
                TextTable::num(static_cast<long long>(misses)),
                TextTable::num(max_tight, 3), TextTable::num(mean(tightness), 3)});
-    if (max_tight > 1.0 + 1e-9) {
+    if (definitely_gt(max_tight, 1.0, kSpeedTol)) {
       std::cout << "ERROR: observed dwell exceeded Delta_R at U_bound=" << u << "\n";
       return 1;
     }

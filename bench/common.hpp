@@ -58,7 +58,7 @@ inline std::optional<double> min_x_under_policy(const ImplicitSet& skeleton, XPo
   const MinXResult mx =
       policy == XPolicy::kExact ? min_x_for_lo(skeleton) : utilization_min_x(skeleton);
   if (!mx.feasible) return std::nullopt;
-  for (double x = mx.x; x <= 1.0 + 1e-9; x += 0.005) {
+  for (double x = mx.x; approx_le(x, 1.0, kSpeedTol); x += 0.005) {
     const double clamped = std::min(x, 1.0);
     if (lo_mode_schedulable(skeleton.materialize(clamped, 1.0))) return clamped;
     if (clamped >= 1.0) break;

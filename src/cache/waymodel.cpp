@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/speedup.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -95,7 +96,7 @@ CachePlanResult greedy_hi_allocation(const std::vector<CacheTaskSpec>& specs,
       candidate[i] += 1;
       const TaskSet set = materialize_cache_set(specs, a_lo, candidate, x);
       const double s = min_speedup_value(set);
-      if (s < winner_s - 1e-12) {
+      if (definitely_lt(s, winner_s, kStrictTol)) {
         winner_s = s;
         winner = i;
       }

@@ -23,18 +23,18 @@
 namespace rbs {
 
 /// Eq. (10) at integer Delta.
-Ticks adb_hi(const McTask& task, Ticks delta, bool discard_dropped_carryover = false);
+[[nodiscard]] Ticks adb_hi(const McTask& task, Ticks delta, bool discard_dropped_carryover = false);
 
 /// lim_{eps->0+} adb_hi(task, delta - eps), for delta >= 1.
-Ticks adb_hi_left(const McTask& task, Ticks delta, bool discard_dropped_carryover = false);
+[[nodiscard]] Ticks adb_hi_left(const McTask& task, Ticks delta, bool discard_dropped_carryover = false);
 
 /// Sum over the whole set.
-Ticks adb_hi_total(const TaskSet& set, Ticks delta, bool discard_dropped_carryover = false);
-Ticks adb_hi_total_left(const TaskSet& set, Ticks delta, bool discard_dropped_carryover = false);
+[[nodiscard]] Ticks adb_hi_total(const TaskSet& set, Ticks delta, bool discard_dropped_carryover = false);
+[[nodiscard]] Ticks adb_hi_total_left(const TaskSet& set, Ticks delta, bool discard_dropped_carryover = false);
 
 /// Breakpoint sequences of adb_hi for one task: window starts k*T(HI), ramp
 /// starts k*T(HI) + (T(HI)-D(LO)) and saturations C(LO) later. Empty for
 /// dropped tasks (their ADB is constant).
-std::vector<ArithSeq> adb_hi_breakpoints(const McTask& task);
+[[nodiscard]] std::vector<ArithSeq> adb_hi_breakpoints(const McTask& task);
 
 }  // namespace rbs

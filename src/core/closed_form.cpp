@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "support/tolerance.hpp"
+
 namespace rbs {
 
 ImplicitSet::ImplicitSet(std::vector<ImplicitTask> tasks) : tasks_(std::move(tasks)) {
@@ -89,7 +91,7 @@ double hi_task_density(double u_lo, double u_hi, double x) {
 }  // namespace
 
 double lemma6_speedup_bound(const ImplicitSet& set, double x, double y) {
-  assert(x > 0.0 && x < 1.0 + 1e-12);
+  assert(x > 0.0 && approx_le(x, 1.0, kStrictTol));
   assert(y >= 1.0);
   double bound = 0.0;
   for (const ImplicitTask& t : set.tasks()) {

@@ -21,32 +21,32 @@
 namespace rbs {
 
 /// Eq. (4): max{ floor((delta - D(LO))/T(LO)) + 1, 0 } * C(LO).
-Ticks dbf_lo(const McTask& task, Ticks delta);
+[[nodiscard]] Ticks dbf_lo(const McTask& task, Ticks delta);
 
 /// Lemma 1: r(tau_i, delta, w) + floor(delta / T(HI)) * C(HI).
 /// A task dropped in HI mode (Eq. 3) has zero HI-mode demand: its carry-over
 /// job keeps running but no longer carries a deadline.
-Ticks dbf_hi(const McTask& task, Ticks delta);
+[[nodiscard]] Ticks dbf_hi(const McTask& task, Ticks delta);
 
 /// lim_{eps->0+} dbf_hi(task, delta - eps), for delta >= 1.
 /// Needed because sup_Delta DBF/Delta can be attained "just before" a jump.
-Ticks dbf_hi_left(const McTask& task, Ticks delta);
+[[nodiscard]] Ticks dbf_hi_left(const McTask& task, Ticks delta);
 
 /// Sum of dbf_lo over the whole set.
-Ticks dbf_lo_total(const TaskSet& set, Ticks delta);
+[[nodiscard]] Ticks dbf_lo_total(const TaskSet& set, Ticks delta);
 
 /// Sum of dbf_hi over the whole set.
-Ticks dbf_hi_total(const TaskSet& set, Ticks delta);
+[[nodiscard]] Ticks dbf_hi_total(const TaskSet& set, Ticks delta);
 
 /// Sum of dbf_hi_left over the whole set.
-Ticks dbf_hi_total_left(const TaskSet& set, Ticks delta);
+[[nodiscard]] Ticks dbf_hi_total_left(const TaskSet& set, Ticks delta);
 
 /// Breakpoint sequences of dbf_hi for one task: window starts k*T(HI), ramp
 /// starts k*T(HI)+g and ramp saturations k*T(HI)+g+C(LO), with
 /// g = D(HI)-D(LO). Empty for dropped tasks.
-std::vector<ArithSeq> dbf_hi_breakpoints(const McTask& task);
+[[nodiscard]] std::vector<ArithSeq> dbf_hi_breakpoints(const McTask& task);
 
 /// Breakpoint (jump) sequence of dbf_lo for one task: k*T(LO) + D(LO).
-ArithSeq dbf_lo_breakpoints(const McTask& task);
+[[nodiscard]] ArithSeq dbf_lo_breakpoints(const McTask& task);
 
 }  // namespace rbs

@@ -2,6 +2,7 @@
 
 #include "core/breakpoints.hpp"
 #include "core/dbf.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -20,20 +21,27 @@ EdfTestResult lo_mode_test(const TaskSet& set, const EdfTestOptions& options) {
     bound_slack += t.utilization(Mode::LO) *
                    static_cast<double>(t.period(Mode::LO) - t.deadline(Mode::LO));
 
-  if (u > options.speed) {
+  // The utilization-vs-speed trichotomy is a *breakpoint* of the analysis:
+  // U is a sum of C/T ratios whose mathematical value can equal the speed
+  // exactly while the computed double lands an ulp off either side (e.g.
+  // three tasks with C/T = 1/3). Route the comparison through the speed
+  // tolerance so the degenerate U = speed branch is taken whenever the two
+  // are indistinguishable, instead of walking an absurd breakpoint window.
+  if (definitely_gt(u, options.speed, kSpeedTol)) {
     result.schedulable = false;
     result.violation_delta = 0;  // asymptotic overload; no single witness point
     return result;
   }
 
   Ticks delta_max;
-  if (u < options.speed) {
+  if (definitely_lt(u, options.speed, kSpeedTol)) {
     delta_max = static_cast<Ticks>(bound_slack / (options.speed - u)) + 1;
   } else {
-    // U == speed exactly: the bound degenerates. With implicit deadlines
-    // (bound_slack == 0) demand never exceeds supply; otherwise fall back to
-    // the breakpoint budget and report inconclusive if it is exhausted.
-    if (bound_slack == 0.0) {
+    // U == speed (to tolerance): the bound degenerates. With implicit
+    // deadlines (slack exactly 0) demand never exceeds supply; otherwise
+    // fall back to the breakpoint budget and report inconclusive if it is
+    // exhausted.
+    if (approx_zero(bound_slack, kTimeTol)) {
       result.schedulable = true;
       return result;
     }

@@ -33,9 +33,9 @@ struct EdfTestResult {
 };
 
 /// Full processor-demand test of the LO-mode parameters.
-EdfTestResult lo_mode_test(const TaskSet& set, const EdfTestOptions& options = {});
+[[nodiscard]] EdfTestResult lo_mode_test(const TaskSet& set, const EdfTestOptions& options = {});
 
 /// Convenience wrapper returning only the verdict.
-bool lo_mode_schedulable(const TaskSet& set, double speed = 1.0);
+[[nodiscard]] bool lo_mode_schedulable(const TaskSet& set, double speed = 1.0);
 
 }  // namespace rbs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/dbf.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -46,14 +47,17 @@ EdfTestResult qpa_lo_test(const TaskSet& set, const EdfTestOptions& options) {
                    static_cast<double>(t.period(Mode::LO) - t.deadline(Mode::LO));
     d_min_ticks = std::min(d_min_ticks, t.deadline(Mode::LO));
   }
-  if (u > options.speed) {
+  // Same boundary policy as lo_mode_test (core/edf.cpp): the trichotomy
+  // against the speed and the exact-zero slack test both sit on analysis
+  // breakpoints, so they go through the named tolerances.
+  if (definitely_gt(u, options.speed, kSpeedTol)) {
     result.schedulable = false;
     return result;
   }
   long double limit;
-  if (u < options.speed) {
+  if (definitely_lt(u, options.speed, kSpeedTol)) {
     limit = static_cast<long double>(bound_slack / (options.speed - u)) + 1.0L;
-  } else if (bound_slack == 0.0) {
+  } else if (approx_zero(bound_slack, kTimeTol)) {
     result.schedulable = true;
     return result;
   } else {

@@ -25,9 +25,9 @@ namespace rbs {
 
 /// QPA verdict for LO mode at the given processor speed. Semantically
 /// identical to lo_mode_test (both are exact); only the algorithm differs.
-EdfTestResult qpa_lo_test(const TaskSet& set, const EdfTestOptions& options = {});
+[[nodiscard]] EdfTestResult qpa_lo_test(const TaskSet& set, const EdfTestOptions& options = {});
 
 /// Convenience wrapper returning only the verdict.
-bool qpa_lo_schedulable(const TaskSet& set, double speed = 1.0);
+[[nodiscard]] bool qpa_lo_schedulable(const TaskSet& set, double speed = 1.0);
 
 }  // namespace rbs

@@ -38,9 +38,9 @@ struct ResetResult {
 };
 
 /// Computes Delta_R per Corollary 5 for HI-mode speedup factor `s` (> 0).
-ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& options = {});
+[[nodiscard]] ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& options = {});
 
 /// Convenience wrapper returning only the bound (ticks).
-double resetting_time_value(const TaskSet& set, double s);
+[[nodiscard]] double resetting_time_value(const TaskSet& set, double s);
 
 }  // namespace rbs

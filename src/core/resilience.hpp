@@ -69,7 +69,7 @@ struct DegradedGuarantee {
 /// below s_min. Exact: every tier is checked with Theorem 2 on the reduced
 /// set. Tiers terminate LO tasks in order of decreasing HI-mode utilization
 /// (ties by index), skipping tasks already terminated in the input.
-DegradedGuarantee analyze_degraded(const TaskSet& set, double achieved_speed,
+[[nodiscard]] DegradedGuarantee analyze_degraded(const TaskSet& set, double achieved_speed,
                                    const ResilienceOptions& options = {});
 
 struct BoostFaultMargin {
@@ -84,22 +84,22 @@ struct BoostFaultMargin {
 };
 
 /// The per-taskset boost-fault margin (see above).
-BoostFaultMargin boost_fault_margin(const TaskSet& set);
+[[nodiscard]] BoostFaultMargin boost_fault_margin(const TaskSet& set);
 
 /// Returns `set` with the listed LO tasks terminated in HI mode (Eq. 3).
 /// Errors on out-of-range indices, HI tasks, or duplicates.
-Expected<TaskSet> apply_termination(const TaskSet& set, const std::vector<std::size_t>& lo_indices);
+[[nodiscard]] Expected<TaskSet> apply_termination(const TaskSet& set, const std::vector<std::size_t>& lo_indices);
 
 /// Models a budget monitor polling every `delta` ticks: every HI task's
 /// C(LO) grows by delta (capped at C(HI) -- beyond that the overrun
 /// completes undetected and HI mode is never entered for that job). Errors
 /// when the inflated set violates the model constraints (e.g. C(LO) > D(LO)),
 /// in which case no guarantee survives the detection latency.
-Expected<TaskSet> inflate_detection_delay(const TaskSet& set, Ticks delta);
+[[nodiscard]] Expected<TaskSet> inflate_detection_delay(const TaskSet& set, Ticks delta);
 
 /// Delta_R at `achieved_speed` under `fallback` (ticks); +inf when the
 /// supply never catches the arrived demand.
-double degraded_resetting_time(const TaskSet& set, double achieved_speed,
+[[nodiscard]] double degraded_resetting_time(const TaskSet& set, double achieved_speed,
                                const FallbackPlan& fallback,
                                const ResilienceOptions& options = {});
 

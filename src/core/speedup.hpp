@@ -20,6 +20,7 @@
 #include <cstddef>
 
 #include "core/task.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -30,7 +31,7 @@ struct SpeedupOptions {
   /// (U + K/Delta) - best drops below rel_tol * best the search stops and
   /// reports the (tiny) residual via `error_bound`. Needed because the exact
   /// rule cannot fire when the supremum *equals* the utilization limit.
-  double rel_tol = 1e-9;
+  double rel_tol = kSpeedTol.relative;
 };
 
 struct SpeedupResult {
@@ -48,16 +49,16 @@ struct SpeedupResult {
 };
 
 /// Computes s_min per Theorem 2.
-SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options = {});
+[[nodiscard]] SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options = {});
 
 /// Convenience wrapper returning only the factor.
-double min_speedup_value(const TaskSet& set);
+[[nodiscard]] double min_speedup_value(const TaskSet& set);
 
 /// True iff HI mode is schedulable at speedup factor `s` (i.e. s >= s_min).
-bool hi_mode_schedulable(const TaskSet& set, double s);
+[[nodiscard]] bool hi_mode_schedulable(const TaskSet& set, double s);
 
 /// Full mixed-criticality schedulability: LO mode schedulable at unit speed
 /// and HI mode schedulable at speedup `s`.
-bool system_schedulable(const TaskSet& set, double s);
+[[nodiscard]] bool system_schedulable(const TaskSet& set, double s);
 
 }  // namespace rbs

@@ -88,7 +88,7 @@ class TaskSet {
   /// Non-throwing factory: every model-constraint violation is reported as a
   /// recoverable Status error instead of an exception. Prefer this on any
   /// path fed by external input (taskset_io, CLI, generators).
-  static Expected<TaskSet> create(std::vector<McTask> tasks);
+  [[nodiscard]] static Expected<TaskSet> create(std::vector<McTask> tasks);
 
   const std::vector<McTask>& tasks() const { return tasks_; }
   std::size_t size() const { return tasks_.size(); }

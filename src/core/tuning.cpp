@@ -7,6 +7,7 @@
 #include "core/dbf.hpp"
 #include "core/edf.hpp"
 #include "core/speedup.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -48,7 +49,7 @@ struct Objective {
     const bool inf_b = std::isinf(other.s_min);
     if (inf_a != inf_b) return inf_b;
     if (inf_a && inf_b) return demand_at_zero < other.demand_at_zero;
-    return s_min < other.s_min - 1e-12;
+    return definitely_lt(s_min, other.s_min, kStrictTol);
   }
 };
 
@@ -103,7 +104,7 @@ DegradeResult degrade_lo_services(TaskSet set, double s_max, double y_cap, int m
       tasks[i].set_hi_service(new_deadline, new_period);
       TaskSet candidate(std::move(tasks));
       const double s = min_speedup_value(candidate);
-      if (s < best_s - 1e-12) {
+      if (definitely_lt(s, best_s, kStrictTol)) {
         best_s = s;
         best_task = i;
         best_period = new_period;

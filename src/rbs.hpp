@@ -33,3 +33,5 @@
 #include "core/tuning.hpp"
 #include "core/types.hpp"
 #include "core/vd.hpp"
+#include "support/status.hpp"
+#include "support/tolerance.hpp"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "support/tolerance.hpp"
+
 namespace rbs::sim {
 
 namespace {
@@ -20,7 +22,7 @@ Status spec_status(const FaultSpec& spec, double lo_speed, double hi_speed,
   // be the larger one (the paper's Example 1 allows hi_speed < lo_speed).
   if (spec.achieved_speed > 0.0 && spec.achieved_speed > std::max(lo_speed, hi_speed))
     return Status::error(where + ": achieved_speed exceeds the speed range (not a partial boost)");
-  if (spec.achieved_speed > 0.0 && spec.achieved_speed < lo_speed * 1e-9)
+  if (spec.achieved_speed > 0.0 && spec.achieved_speed < lo_speed * kSpeedTol.relative)
     return Status::error(where + ": achieved_speed is vanishingly small");
   if (!finite_nonneg(spec.throttle_after))
     return Status::error(where + ": throttle_after must be finite and >= 0");

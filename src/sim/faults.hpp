@@ -100,7 +100,7 @@ struct FaultPlan {
 
 /// Checks a plan against the speed range of the run it will be injected
 /// into; every numeric field must be finite and inside its documented range.
-Status validate(const FaultPlan& plan, double lo_speed, double hi_speed);
+[[nodiscard]] Status validate(const FaultPlan& plan, double lo_speed, double hi_speed);
 
 /// Resolves the fault afflicting `episode` (0-based mode-switch index) under
 /// `plan`, drawing from `rng` when the episode falls to the random model.

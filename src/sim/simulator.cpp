@@ -8,6 +8,7 @@
 
 #include "gen/rng.hpp"
 #include "sim/job.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs::sim {
 
@@ -46,10 +47,12 @@ bool parse_event_kind(const std::string& name, TraceEvent::Kind& out) {
 
 namespace {
 
-// Absolute tolerances; tick magnitudes stay far below 2^40, so doubles keep
-// ~1e-4 tick precision at worst and 1e-6 is a safe comparison slack.
-constexpr double kEpsTime = 1e-6;
-constexpr double kEpsWork = 1e-6;
+// Absolute comparison slacks from the project tolerance policy
+// (support/tolerance.hpp): event times and executed work share kTimeTol;
+// tick magnitudes stay far below 2^40, so its absolute term sits safely
+// above rounding noise yet far below one tick.
+constexpr double kEpsTime = kTimeTol.absolute;
+constexpr double kEpsWork = kTimeTol.absolute;
 
 class Engine {
  public:
@@ -362,7 +365,7 @@ class Engine {
     job.release = now;
     job.deadline = now + static_cast<double>(task.deadline(mode_));
     if (scripted()) {
-      job.demand = std::max(1e-9, cfg_.scripted_arrivals[i][st.script_pos].demand);
+      job.demand = std::max(kMinPositiveWork, cfg_.scripted_arrivals[i][st.script_pos].demand);
       job.overruns = task.is_hi() &&
                      job.demand > static_cast<double>(task.wcet(Mode::LO)) + kEpsWork;
       ++st.script_pos;
@@ -391,14 +394,14 @@ class Engine {
       overruns = true;
       if (cfg_.demand.overrun_shape == DemandModel::OverrunShape::kFull) return c_hi;
       // strictly above C(LO): the trigger condition must be reachable
-      const double fraction = std::max(1e-6, rng_.uniform(0.0, 1.0));
+      const double fraction = std::max(kMinOverrunFraction, rng_.uniform(0.0, 1.0));
       return c_lo + fraction * (c_hi - c_lo);
     }
     const double fraction =
         cfg_.demand.base_fraction_min >= cfg_.demand.base_fraction_max
             ? cfg_.demand.base_fraction_max
             : rng_.uniform(cfg_.demand.base_fraction_min, cfg_.demand.base_fraction_max);
-    return std::max(1e-9, fraction * c_lo);
+    return std::max(kMinPositiveWork, fraction * c_lo);
   }
 
   void switch_to_hi(double now) {

@@ -105,15 +105,15 @@ struct SimConfig {
 /// times, positive finite demands) and a valid fault plan. NaN anywhere is an
 /// error. Note hi_speed < lo_speed is deliberately *allowed*: the paper's
 /// Example 1 shows systems that slow down in HI mode (s_min < 1).
-Status validate_config(const TaskSet& set, const SimConfig& config);
+[[nodiscard]] Status validate_config(const TaskSet& set, const SimConfig& config);
 
 /// Runs one simulation of `set` under `config`. Stateless between calls.
 /// Rejects invalid configurations via validate_config and returns the error
 /// instead of entering the event loop.
-Expected<SimResult> try_simulate(const TaskSet& set, const SimConfig& config);
+[[nodiscard]] Expected<SimResult> try_simulate(const TaskSet& set, const SimConfig& config);
 
 /// Legacy wrapper around try_simulate: throws std::invalid_argument on an
 /// invalid configuration (previously undefined behavior).
-SimResult simulate(const TaskSet& set, const SimConfig& config);
+[[nodiscard]] SimResult simulate(const TaskSet& set, const SimConfig& config);
 
 }  // namespace rbs::sim

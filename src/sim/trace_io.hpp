@@ -60,10 +60,10 @@ struct TraceDocument {
 /// Parses a JSON trace (the write_trace_json format). Round-trips losslessly:
 /// parse_trace_json(trace_to_json(set, r)) reproduces segments, events, jobs
 /// and summary bit-for-bit. Errors carry a byte offset and a description.
-Expected<TraceDocument> parse_trace_json(const std::string& text);
+[[nodiscard]] Expected<TraceDocument> parse_trace_json(const std::string& text);
 
 /// Reads and parses a JSON trace from a stream / file path.
-Expected<TraceDocument> read_trace_json(std::istream& in);
-Expected<TraceDocument> read_trace_json_file(const std::string& path);
+[[nodiscard]] Expected<TraceDocument> read_trace_json(std::istream& in);
+[[nodiscard]] Expected<TraceDocument> read_trace_json_file(const std::string& path);
 
 }  // namespace rbs::sim

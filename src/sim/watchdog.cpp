@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "support/tolerance.hpp"
+
 namespace rbs::sim {
 
 std::string to_string(Violation::Kind kind) {
@@ -84,8 +86,10 @@ WatchdogReport check_trace(const TaskSet& set, const SimConfig& cfg, const SimRe
         }
         const double dwell = e.time - switch_time;
         ++report.dwells_checked;
-        if (std::isfinite(opts.delta_r_bound) &&
-            dwell > opts.delta_r_bound * (1.0 + 1e-9) + tol) {
+        // Absolute slack from the caller, relative slack from the speed
+        // policy (the admissible rounding scales with Delta_R's magnitude).
+        const Tolerance dwell_tol{tol, kSpeedTol.relative};
+        if (std::isfinite(opts.delta_r_bound) && dwell_tol.gt(dwell, opts.delta_r_bound)) {
           std::ostringstream os;
           os << "HI-mode dwell " << dwell << " exceeds analytic Delta_R = "
              << opts.delta_r_bound;

@@ -26,6 +26,7 @@
 #include "core/task.hpp"
 #include "sim/job.hpp"
 #include "sim/simulator.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs::sim {
 
@@ -53,8 +54,8 @@ struct WatchdogOptions {
   /// Speeds the protocol may legitimately run at beyond {lo_speed, hi_speed}
   /// -- injected partial-boost and throttle speeds.
   std::vector<double> extra_allowed_speeds;
-  double time_tolerance = 1e-6;
-  double speed_tolerance = 1e-9;
+  double time_tolerance = kTimeTol.absolute;
+  double speed_tolerance = kSpeedTol.relative;
 };
 
 struct Violation {
@@ -79,13 +80,13 @@ struct WatchdogReport {
   std::size_t events_checked = 0;
   std::size_t segments_checked = 0;
   std::size_t dwells_checked = 0;
-  bool ok() const { return violations.empty(); }
+  [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 
 /// Checks the recorded trace of `result` (requires SimConfig::record_trace)
 /// against the protocol invariants under `opts`. Returns every violation
 /// found; an empty report certifies the run against the active guarantee.
-WatchdogReport check_trace(const TaskSet& set, const SimConfig& cfg, const SimResult& result,
+[[nodiscard]] WatchdogReport check_trace(const TaskSet& set, const SimConfig& cfg, const SimResult& result,
                            const WatchdogOptions& opts = {});
 
 }  // namespace rbs::sim

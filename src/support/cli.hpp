@@ -29,8 +29,8 @@ class CliArgs {
   /// Checked variants: return the fallback when the flag is absent, but a
   /// Status error when it is present and malformed (the unchecked getters
   /// above silently coerce garbage to 0 via strtod/strtoll).
-  Expected<double> get_double_checked(const std::string& name, double fallback) const;
-  Expected<std::int64_t> get_int_checked(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] Expected<double> get_double_checked(const std::string& name, double fallback) const;
+  [[nodiscard]] Expected<std::int64_t> get_int_checked(const std::string& name, std::int64_t fallback) const;
 
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -19,32 +19,35 @@
 
 namespace rbs {
 
-/// An ok/error verdict with a diagnostic message (empty iff ok).
-class Status {
+/// An ok/error verdict with a diagnostic message (empty iff ok). The class
+/// itself is [[nodiscard]]: a dropped Status is a dropped error.
+class [[nodiscard]] Status {
  public:
   /// Default-constructed status is ok.
   Status() = default;
 
-  static Status ok() { return Status(); }
-  static Status error(std::string message) {
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status error(std::string message) {
     Status s;
     s.message_ = std::move(message);
     s.ok_ = false;
     return s;
   }
 
-  bool is_ok() const { return ok_; }
+  [[nodiscard]] bool is_ok() const { return ok_; }
   explicit operator bool() const { return ok_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
  private:
   bool ok_ = true;
   std::string message_;
 };
 
-/// A value of type T or the Status explaining why there is none.
+/// A value of type T or the Status explaining why there is none. Like
+/// Status, [[nodiscard]] at the class level: parse-or-fail results must be
+/// tested, not dropped.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Expected(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
@@ -52,28 +55,28 @@ class Expected {
     if (status_.is_ok()) status_ = Status::error("internal: ok status without value");
   }
 
-  bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
   explicit operator bool() const { return is_ok(); }
 
-  const Status& status() const { return status_; }
-  const std::string& error_message() const { return status_.message(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const std::string& error_message() const { return status_.message(); }
 
   /// Value access; throws std::logic_error when the Expected holds an error
   /// (programming bug -- callers must test is_ok() first).
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     if (!value_) throw std::logic_error("Expected::value() on error: " + status_.message());
     return std::move(*value_);
   }
 
-  T value_or(T fallback) const { return value_ ? *value_ : std::move(fallback); }
+  [[nodiscard]] T value_or(T fallback) const { return value_ ? *value_ : std::move(fallback); }
 
  private:
   std::optional<T> value_;

@@ -28,21 +28,21 @@ struct ParseError {
 
 /// Parses a task set from a stream; returns either the set or the first
 /// error encountered.
-std::variant<TaskSet, ParseError> read_task_set(std::istream& in);
+[[nodiscard]] std::variant<TaskSet, ParseError> read_task_set(std::istream& in);
 
 /// Parses a task set from a file path.
-std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path);
+[[nodiscard]] std::variant<TaskSet, ParseError> read_task_set_file(const std::string& path);
 
 /// Expected-returning variants of the readers: the ParseError is folded into
 /// the error message ("line N: ..."), so callers can propagate a single
 /// Status through CLI plumbing instead of unpacking the variant.
-Expected<TaskSet> load_task_set(std::istream& in);
-Expected<TaskSet> load_task_set_file(const std::string& path);
+[[nodiscard]] Expected<TaskSet> load_task_set(std::istream& in);
+[[nodiscard]] Expected<TaskSet> load_task_set_file(const std::string& path);
 
 /// Writes `set` in the same format (round-trips through read_task_set).
 void write_task_set(std::ostream& out, const TaskSet& set);
 
 /// Writes to a file; returns false if the file cannot be opened.
-bool write_task_set_file(const std::string& path, const TaskSet& set);
+[[nodiscard]] bool write_task_set_file(const std::string& path, const TaskSet& set);
 
 }  // namespace rbs

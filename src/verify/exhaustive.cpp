@@ -3,6 +3,8 @@
 #include <cmath>
 #include <functional>
 
+#include "support/tolerance.hpp"
+
 namespace rbs {
 
 namespace {
@@ -100,7 +102,7 @@ ExploreResult explore_patterns(const TaskSet& set, double s, const ExploreOption
 double exhaustive_speedup_lower_bound(const TaskSet& set, double ceiling, double step,
                                       const ExploreOptions& options) {
   double best = 0.0;
-  for (double s = step; s <= ceiling + 1e-12; s += step) {
+  for (double s = step; approx_le(s, ceiling, kStrictTol); s += step) {
     Explorer explorer{set, options, s, /*stop_on_first_miss=*/true, {}, {}, {}};
     const ExploreResult r = explorer.explore();
     if (r.patterns_missed > 0)

@@ -91,5 +91,61 @@ TEST(EdfTest, DroppedTasksStillCountInLoMode) {
   EXPECT_EQ(lo_mode_schedulable(a), lo_mode_schedulable(b));
 }
 
+// --- boundary-schedulability regressions (tolerance policy, PR 2) ---------
+// Demand-based MC analysis lives on exact breakpoints: "slack exactly 0"
+// is a reachable state, and raw float == / < flips verdicts there. These
+// pin the tolerance-routed behavior of the U-vs-speed trichotomy and the
+// zero-slack degenerate branch (support/tolerance.hpp).
+
+TEST(EdfBoundaryTest, ExactFullUtilizationStaysSchedulable) {
+  // U == speed exactly, implicit deadlines: bound_slack is exactly 0 and the
+  // degenerate branch must report schedulable, not walk an infinite window.
+  const TaskSet set({McTask::lo("a", 1, 2, 2), McTask::lo("b", 1, 2, 2)});
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(EdfBoundaryTest, InexactFullUtilizationStaysSchedulable) {
+  // Ten C/T = 1/10 tasks: the mathematical utilization is 1 but the
+  // accumulated double is 0.999...9 (an ulp short -- ten adds of 0.1).
+  // Without the speed tolerance this falls into the bounded-window branch
+  // with a bogus ~1e16-tick window; with it, the degenerate branch applies.
+  std::vector<McTask> tasks;
+  for (int i = 0; i < 10; ++i)
+    tasks.push_back(McTask::lo("t" + std::to_string(i), 1, 10, 10));
+  const TaskSet set(tasks);
+  const double u = set.total_utilization(Mode::LO);
+  ASSERT_TRUE(u < 1.0);  // the premise: the accumulated U is an ulp short
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_LT(r.breakpoints_visited, 100u);
+}
+
+TEST(EdfBoundaryTest, ZeroSlackWitnessPointStaysSchedulable) {
+  // U = 0.75 < 1, but demand(2) = 2 = supply(2) exactly: slack is 0 at the
+  // witness breakpoint and the set must remain schedulable.
+  const TaskSet set({McTask::lo("a", 2, 2, 4), McTask::lo("b", 1, 4, 4)});
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(EdfBoundaryTest, DefinitelyOverloadedStillRejected) {
+  // The tolerance must not absorb genuine overload: U = 1.2 > 1.
+  const TaskSet set({McTask::lo("a", 6, 10, 10), McTask::lo("b", 6, 10, 10)});
+  const EdfTestResult r = lo_mode_test(set);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(EdfBoundaryTest, FullUtilizationAtNonUnitSpeed) {
+  // Same boundary at speed 2: U == speed exactly with implicit deadlines.
+  const TaskSet set({McTask::lo("a", 2, 2, 2), McTask::lo("b", 2, 2, 2)});
+  EXPECT_TRUE(lo_mode_schedulable(set, 2.0));
+  EXPECT_FALSE(lo_mode_schedulable(set, 1.0));
+}
+
 }  // namespace
 }  // namespace rbs

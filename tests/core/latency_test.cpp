@@ -10,6 +10,7 @@
 #include "core/speedup.hpp"
 #include "gen/paper_examples.hpp"
 #include "sim/simulator.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 namespace {
@@ -117,7 +118,7 @@ TEST(LatencySimTest, BoostDelayedByLatency) {
   EXPECT_NEAR(r.task_stats[0].max_response, 4.5, 1e-6);
   bool saw_slow_hi_segment = false;
   for (const sim::TraceSegment& seg : r.trace.segments)
-    if (seg.mode == Mode::HI && seg.speed == 1.0) saw_slow_hi_segment = true;
+    if (seg.mode == Mode::HI && approx_eq(seg.speed, 1.0, kSpeedTol)) saw_slow_hi_segment = true;
   EXPECT_TRUE(saw_slow_hi_segment);
 }
 

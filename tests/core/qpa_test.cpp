@@ -97,5 +97,40 @@ TEST(QpaTest, ConvergesInFewIterations) {
   EXPECT_LT(qpa.breakpoints_visited, 200u);
 }
 
+// --- boundary-schedulability regressions (tolerance policy, PR 2) ---------
+// Mirrors EdfBoundaryTest: QPA must agree with the forward sweep on the
+// exact U = speed / zero-slack breakpoints routed through the tolerance
+// policy, not just in the interior.
+
+TEST(QpaBoundaryTest, ExactFullUtilizationStaysSchedulable) {
+  const TaskSet set({McTask::lo("a", 1, 2, 2), McTask::lo("b", 1, 2, 2)});
+  const EdfTestResult r = qpa_lo_test(set);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(QpaBoundaryTest, InexactFullUtilizationStaysSchedulable) {
+  // Ten adds of 0.1 leave U an ulp short of 1; see EdfBoundaryTest.
+  std::vector<McTask> tasks;
+  for (int i = 0; i < 10; ++i)
+    tasks.push_back(McTask::lo("t" + std::to_string(i), 1, 10, 10));
+  const TaskSet set(tasks);
+  const EdfTestResult r = qpa_lo_test(set);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.conclusive);
+}
+
+TEST(QpaBoundaryTest, ZeroSlackWitnessAgreesWithForwardSweep) {
+  // Demand touches supply exactly at delta = 2 (slack 0 at a breakpoint).
+  const TaskSet set({McTask::lo("a", 2, 2, 4), McTask::lo("b", 1, 4, 4)});
+  EXPECT_TRUE(qpa_lo_schedulable(set));
+  EXPECT_EQ(qpa_lo_schedulable(set), lo_mode_schedulable(set));
+}
+
+TEST(QpaBoundaryTest, DefinitelyOverloadedStillRejected) {
+  const TaskSet set({McTask::lo("a", 6, 10, 10), McTask::lo("b", 6, 10, 10)});
+  EXPECT_FALSE(qpa_lo_schedulable(set));
+}
+
 }  // namespace
 }  // namespace rbs

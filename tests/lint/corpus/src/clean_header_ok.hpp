@@ -1,0 +1,18 @@
+// Fixture: header false-positive guards. Status in non-return-type
+// positions (definition, qualified access, parameters, references) and
+// annotated declarations must stay silent.
+#pragma once
+
+#include <string>
+
+namespace rbs {
+class Status {
+ public:
+  [[nodiscard]] static Status ok();
+  [[nodiscard]] bool is_ok() const;
+};
+
+[[nodiscard]] Status annotated_free_function();
+void consume(Status first, Status second);
+inline bool forward(const Status& s) { return s.is_ok(); }
+}  // namespace rbs

@@ -1,0 +1,14 @@
+// Fixture: false-positive guards -- patterns every rule must leave alone.
+#include <string>
+
+namespace rbs {
+inline bool ordered(double a, double b) { return a <= b; }
+inline bool int_eq(int version) { return version == 2; }
+inline double coarse_step() { return 1e-3; }
+inline std::string doc() { return "tested x == 1.0 with slack 1e-9"; }
+
+struct Stats {
+  double clock = 0.0;  // a data member named like the banned call
+};
+inline double member_access(const Stats& stats) { return stats.clock; }
+}  // namespace rbs

@@ -1,0 +1,6 @@
+// Fixture: epsilon-literal must fire on inline comparison slacks.
+namespace rbs {
+inline bool close(double a, double b) { return (a > b ? a - b : b - a) < 1e-9; }
+inline bool near_zero(double x) { return x < 0.0000001; }
+inline double coarse_resolution_is_fine() { return 1e-3; }
+}  // namespace rbs

@@ -1,0 +1,6 @@
+// Fixture: float-eq must fire on raw ==/!= adjacent to a float literal.
+namespace rbs {
+inline bool at_full_speed(double s) { return s == 1.0; }
+inline bool not_idle(double u) { return 0.0 != u; }
+inline bool integer_compare_is_fine(int n) { return n == 2; }
+}  // namespace rbs

@@ -1,0 +1,18 @@
+// Fixture: raw engines are licensed inside gen/rng.hpp (the seeded wrapper
+// is the one place they may appear); the same token anywhere else in src/
+// fires nondet (see nondet_bad.cpp).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace rbs {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  [[nodiscard]] double uniform01();
+
+ private:
+  std::mt19937_64 engine_;
+};
+}  // namespace rbs

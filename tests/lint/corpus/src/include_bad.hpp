@@ -1,0 +1,10 @@
+// Fixture: include-hygiene -- missing #pragma once, <bits/stdc++.h>,
+// a duplicate include, and using-namespace in a header.
+#include <bits/stdc++.h>
+#include <vector>
+#include <vector>
+
+namespace rbs {
+using namespace std;
+inline int count_jobs() { return 0; }
+}  // namespace rbs

@@ -1,0 +1,16 @@
+// Fixture: nodiscard must fire on Status/Expected returns lacking the
+// attribute; annotated declarations stay silent.
+#pragma once
+
+#include <string>
+
+namespace rbs {
+class Status;
+template <typename T>
+class Expected;
+
+Status validate(int ticks);
+Expected<double> parse_speed(const std::string& text);
+[[nodiscard]] Status checked_validate(int ticks);
+[[nodiscard]] Expected<double> checked_parse(const std::string& text);
+}  // namespace rbs

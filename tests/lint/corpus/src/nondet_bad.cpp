@@ -1,0 +1,18 @@
+// Fixture: nondet must fire in src/ on wall-clock reads and unseeded
+// randomness.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace rbs {
+inline int draw() { return std::rand(); }
+inline long stamp() { return static_cast<long>(std::time(nullptr)); }
+inline unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}
+inline unsigned raw_engine_outside_rng_home() {
+  std::mt19937 engine;
+  return engine();
+}
+}  // namespace rbs

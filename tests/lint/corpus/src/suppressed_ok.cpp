@@ -1,0 +1,12 @@
+// Fixture: `rbs-lint: allow(rule)` silences the named rule on its own line
+// and on the next line. Every violation below is suppressed, so this file
+// must produce zero diagnostics.
+namespace rbs {
+// rbs-lint: allow(float-eq)
+inline bool exact(double s) { return s == 1.0; }
+inline bool tiny(double d) {
+  return d < 1e-9;  // rbs-lint: allow(epsilon-literal)
+}
+// rbs-lint: allow(float-eq, epsilon-literal)
+inline bool both(double s) { return s != 1.0 && s > 1e-9; }
+}  // namespace rbs

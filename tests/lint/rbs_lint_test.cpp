@@ -1,0 +1,118 @@
+// Golden-diff of the lint engine over the fixture corpus (tests/lint/corpus).
+//
+// The corpus holds one fixture per rule with known violations, plus
+// suppression and false-positive guards that must stay silent. expected.txt
+// records every diagnostic with paths relative to the corpus root, so the
+// diff is stable across checkouts; regenerate it by running the rbs_lint
+// binary over tests/lint/corpus and stripping the prefix.
+#include "rbs_lint/lint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rbs::lint {
+namespace {
+
+const std::string kCorpusDir = RBS_LINT_CORPUS_DIR;
+const std::string kExpectedFile = RBS_LINT_EXPECTED_FILE;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string relative_to_corpus(std::string path) {
+  if (path.rfind(kCorpusDir, 0) == 0) {
+    path.erase(0, kCorpusDir.size());
+    if (!path.empty() && path.front() == '/') path.erase(0, 1);
+  }
+  return path;
+}
+
+std::vector<std::string> corpus_lines(const Options& options = {}) {
+  std::vector<std::string> lines;
+  for (Diagnostic d : lint_paths({kCorpusDir}, options)) {
+    d.file = relative_to_corpus(d.file);
+    lines.push_back(format(d));
+  }
+  return lines;
+}
+
+TEST(RbsLintCorpusTest, GoldenDiagnostics) {
+  std::ostringstream actual;
+  for (const std::string& line : corpus_lines()) actual << line << '\n';
+  EXPECT_EQ(actual.str(), read_file(kExpectedFile))
+      << "corpus diagnostics drifted from tests/lint/expected.txt; if the "
+         "change is intentional, regenerate the golden file";
+}
+
+TEST(RbsLintCorpusTest, EveryRuleFiresSomewhereInCorpus) {
+  const std::vector<std::string> lines = corpus_lines();
+  for (const std::string& rule : all_rule_names()) {
+    const std::string tag = "[" + rule + "]";
+    bool found = false;
+    for (const std::string& line : lines)
+      if (line.find(tag) != std::string::npos) found = true;
+    EXPECT_TRUE(found) << "no corpus fixture exercises rule " << rule;
+  }
+}
+
+TEST(RbsLintCorpusTest, SuppressionAndCleanFixturesStaySilent) {
+  for (const Diagnostic& d : lint_paths({kCorpusDir})) {
+    const std::string file = relative_to_corpus(d.file);
+    EXPECT_EQ(file.find("suppressed_ok"), std::string::npos) << format(d);
+    EXPECT_EQ(file.find("clean_ok"), std::string::npos) << format(d);
+    EXPECT_EQ(file.find("clean_header_ok"), std::string::npos) << format(d);
+    EXPECT_EQ(file.find("gen/rng.hpp"), std::string::npos) << format(d);
+  }
+}
+
+TEST(RbsLintCorpusTest, RuleFilterRestrictsDiagnostics) {
+  Options only_float_eq;
+  only_float_eq.rules = {"float-eq"};
+  const std::vector<std::string> lines = corpus_lines(only_float_eq);
+  ASSERT_FALSE(lines.empty());
+  for (const std::string& line : lines)
+    EXPECT_NE(line.find("[float-eq]"), std::string::npos) << line;
+}
+
+TEST(RbsLintCorpusTest, ExcludeFragmentSkipsFiles) {
+  Options options;
+  options.excludes = {"nondet_bad"};
+  for (const std::string& line : corpus_lines(options))
+    EXPECT_EQ(line.find("nondet_bad"), std::string::npos) << line;
+}
+
+TEST(RbsLintCorpusTest, MissingPathIsAnIoError) {
+  const std::vector<Diagnostic> diags = lint_paths({kCorpusDir + "/no_such_dir"});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "io-error");
+}
+
+TEST(RbsLintSourceTest, SuppressionCoversOwnAndNextLine) {
+  const std::string text =
+      "// rbs-lint: allow(float-eq)\n"
+      "bool a(double s) { return s == 1.0; }\n"
+      "bool b(double s) { return s == 1.0; }\n";
+  const std::vector<Diagnostic> diags = lint_source("src/x.cpp", text);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_EQ(diags[0].rule, "float-eq");
+}
+
+TEST(RbsLintSourceTest, StringsAndCommentsNeverLeakTokens) {
+  const std::string text =
+      "// in a comment: s == 1.0 and 1e-9 and rand()\n"
+      "const char* kDoc = \"s == 1.0, slack 1e-9\"; /* u != 0.5 */\n";
+  EXPECT_TRUE(lint_source("src/x.cpp", text).empty());
+}
+
+}  // namespace
+}  // namespace rbs::lint

@@ -9,6 +9,7 @@
 
 #include "gen/paper_examples.hpp"
 #include "sim/simulator.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs::sim {
 namespace {
@@ -140,7 +141,7 @@ TEST(FaultInjectionTest, PartialBoostRunsAtAchievedSpeed) {
   bool at_partial = false;
   for (const TraceSegment& s : r.trace.segments) {
     EXPECT_NE(s.speed, 2.0);  // full boost never achieved
-    at_partial |= s.mode == Mode::HI && s.speed == 1.5;
+    at_partial |= s.mode == Mode::HI && approx_eq(s.speed, 1.5, kSpeedTol);
   }
   EXPECT_TRUE(at_partial);
 }
@@ -175,7 +176,7 @@ TEST(FaultInjectionTest, ThrottleDownCollapsesSpeedMidEpisode) {
   EXPECT_GT(r.throttle_downs, 0u);
   bool throttled = false, throttle_event = false;
   for (const TraceSegment& s : r.trace.segments)
-    throttled |= s.mode == Mode::HI && s.speed == 1.25;
+    throttled |= s.mode == Mode::HI && approx_eq(s.speed, 1.25, kSpeedTol);
   for (const TraceEvent& e : r.trace.events)
     throttle_event |= e.kind == TraceEvent::Kind::kThrottleDown;
   EXPECT_TRUE(throttled);

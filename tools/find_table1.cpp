@@ -40,10 +40,10 @@ int main() {
                   if (!rbs::lo_mode_schedulable(base)) continue;
 
                   const double s_base = rbs::min_speedup_value(base);
-                  if (!approximately(s_base, 4.0 / 3.0, 1e-9)) continue;
+                  if (!rbs::approx_eq(s_base, 4.0 / 3.0, rbs::kSpeedTol)) continue;
 
                   const double dr2 = rbs::resetting_time_value(base, 2.0);
-                  if (!approximately(dr2, 6.0, 1e-9)) continue;
+                  if (!rbs::approx_eq(dr2, 6.0, rbs::kSpeedTol)) continue;
 
                   const rbs::TaskSet degraded(
                       {tau1, rbs::McTask::lo("tau2", c2, d2, t2, /*hi_deadline=*/15,

@@ -1,0 +1,618 @@
+#include "rbs_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rbs::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: a C++-shaped lexer, just faithful enough for the rules. Strings,
+// character literals and comments never leak tokens; preprocessor directives
+// surface as structured Include/Pragma tokens; pp-numbers follow the standard
+// grammar (digit separators, exponents with signs, hex floats).
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kInclude, kPragma };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  /// Comment text by starting line, for suppression scanning.
+  std::map<int, std::string> comments;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Lexed run() {
+    bool line_has_token = false;  // only a '#' first on its line starts a directive
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_has_token = false;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && !line_has_token) {
+        directive();
+        line_has_token = true;
+        continue;
+      }
+      line_has_token = true;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (digit(c) || (c == '.' && digit(peek(1)))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void add(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    std::size_t end = text_.find('\n', pos_);
+    if (end == std::string::npos) end = text_.size();
+    out_.comments[start] += text_.substr(pos_, end - pos_);
+    pos_ = end;
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    std::string body;
+    while (pos_ < text_.size() && !(text_[pos_] == '*' && peek(1) == '/')) {
+      if (text_[pos_] == '\n') ++line_;
+      body += text_[pos_++];
+    }
+    pos_ = std::min(pos_ + 2, text_.size());
+    out_.comments[start] += body;
+  }
+
+  void skip_to_eol_with_continuations() {
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\' && peek(1) == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') return;  // newline handled by the main loop
+      if (text_[pos_] == '/' && peek(1) == '/') {
+        line_comment();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void directive() {
+    const int start = line_;
+    ++pos_;  // '#'
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+    std::string name;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) name += text_[pos_++];
+    if (name == "include") {
+      while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+      const char open = pos_ < text_.size() ? text_[pos_] : '\0';
+      const char close = open == '<' ? '>' : '"';
+      if (open == '<' || open == '"') {
+        std::string target(1, open);
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != close && text_[pos_] != '\n')
+          target += text_[pos_++];
+        if (pos_ < text_.size() && text_[pos_] == close) {
+          target += close;
+          ++pos_;
+        }
+        add(TokKind::kInclude, target, start);
+      }
+    } else if (name == "pragma") {
+      while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+      std::string body;
+      while (pos_ < text_.size() && text_[pos_] != '\n') body += text_[pos_++];
+      while (!body.empty() && std::isspace(static_cast<unsigned char>(body.back())))
+        body.pop_back();
+      add(TokKind::kPragma, body, start);
+    }
+    // Macro bodies (#define and friends) are deliberately not tokenized.
+    skip_to_eol_with_continuations();
+  }
+
+  void string_literal() {
+    // Raw string? The prefix identifier (R, u8R, ...) was already emitted; it
+    // is harmless. Detect rawness from that previous token.
+    bool raw = false;
+    if (!out_.tokens.empty() && out_.tokens.back().kind == TokKind::kIdent) {
+      const std::string& prev = out_.tokens.back().text;
+      if (!prev.empty() && prev.back() == 'R' &&
+          (prev == "R" || prev == "u8R" || prev == "uR" || prev == "LR")) {
+        raw = true;
+        out_.tokens.pop_back();
+      }
+    }
+    ++pos_;  // opening quote
+    if (raw) {
+      std::string delim;
+      while (pos_ < text_.size() && text_[pos_] != '(') delim += text_[pos_++];
+      const std::string terminator = ")" + delim + "\"";
+      const std::size_t end = text_.find(terminator, pos_);
+      const std::size_t stop = end == std::string::npos ? text_.size() : end + terminator.size();
+      line_ += static_cast<int>(std::count(text_.begin() + static_cast<long>(pos_),
+                                           text_.begin() + static_cast<long>(stop), '\n'));
+      pos_ = stop;
+      return;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < text_.size()) ++pos_;
+  }
+
+  void char_literal() {
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      if (text_[pos_] == '\n') return;  // stray quote; bail at EOL
+      ++pos_;
+    }
+    if (pos_ < text_.size()) ++pos_;
+  }
+
+  void number() {
+    const int start = line_;
+    std::string body;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        body += c;
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !body.empty() &&
+          (body.back() == 'e' || body.back() == 'E' || body.back() == 'p' ||
+           body.back() == 'P')) {
+        body += c;
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    add(TokKind::kNumber, body, start);
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string body;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) body += text_[pos_++];
+    add(TokKind::kIdent, body, start);
+  }
+
+  void punct() {
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "::", "[[", "]]"};
+    for (const char* two : kTwoChar) {
+      if (text_[pos_] == two[0] && peek(1) == two[1]) {
+        add(TokKind::kPunct, two, line_);
+        pos_ += 2;
+        return;
+      }
+    }
+    add(TokKind::kPunct, std::string(1, text_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Lexed out_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared predicates
+// ---------------------------------------------------------------------------
+
+std::string lower_no_separators(const std::string& literal) {
+  std::string s;
+  for (char c : literal)
+    if (c != '\'') s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool is_float_literal(const std::string& literal) {
+  const std::string s = lower_no_separators(literal);
+  if (s.rfind("0x", 0) == 0) return s.find('p') != std::string::npos;
+  return s.find('.') != std::string::npos || s.find('e') != std::string::npos;
+}
+
+double literal_value(const std::string& literal) {
+  return std::strtod(lower_no_separators(literal).c_str(), nullptr);
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  return path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_has_component(const std::string& path, const std::string& component) {
+  const std::filesystem::path p(path);
+  for (const auto& part : p)
+    if (part.string() == component) return true;
+  return false;
+}
+
+bool is_header(const std::string& path) {
+  return path_ends_with(path, ".hpp") || path_ends_with(path, ".h");
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRuleFloatEq = "float-eq";
+constexpr const char* kRuleEpsilon = "epsilon-literal";
+constexpr const char* kRuleNodiscard = "nodiscard";
+constexpr const char* kRuleNondet = "nondet";
+constexpr const char* kRuleInclude = "include-hygiene";
+
+class Checker {
+ public:
+  Checker(const std::string& path, const Lexed& lexed, const Options& options)
+      : path_(path), lexed_(lexed) {
+    for (const std::string& r : options.rules) enabled_.insert(r);
+    collect_suppressions();
+  }
+
+  std::vector<Diagnostic> run() {
+    check_float_eq();
+    check_epsilon_literals();
+    check_nodiscard();
+    check_nondeterminism();
+    check_include_hygiene();
+    std::sort(diags_.begin(), diags_.end(), [](const Diagnostic& a, const Diagnostic& b) {
+      if (a.line != b.line) return a.line < b.line;
+      return a.rule < b.rule;
+    });
+    return std::move(diags_);
+  }
+
+ private:
+  bool rule_enabled(const std::string& rule) const {
+    return enabled_.empty() || enabled_.count(rule) > 0;
+  }
+
+  void collect_suppressions() {
+    for (const auto& [line, text] : lexed_.comments) {
+      std::size_t at = text.find("rbs-lint:");
+      if (at == std::string::npos) continue;
+      at = text.find("allow(", at);
+      if (at == std::string::npos) continue;
+      const std::size_t close = text.find(')', at);
+      if (close == std::string::npos) continue;
+      std::string inside = text.substr(at + 6, close - at - 6);
+      std::stringstream ss(inside);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        const std::size_t b = rule.find_first_not_of(" \t");
+        const std::size_t e = rule.find_last_not_of(" \t");
+        if (b != std::string::npos) suppressions_[line].insert(rule.substr(b, e - b + 1));
+      }
+    }
+  }
+
+  bool suppressed(const std::string& rule, int line) const {
+    for (int probe : {line, line - 1}) {
+      auto it = suppressions_.find(probe);
+      if (it != suppressions_.end() && it->second.count(rule) > 0) return true;
+    }
+    return false;
+  }
+
+  void report(const std::string& rule, int line, std::string message) {
+    if (!rule_enabled(rule) || suppressed(rule, line)) return;
+    diags_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  const std::vector<Token>& toks() const { return lexed_.tokens; }
+
+  // --- float-eq ------------------------------------------------------------
+  void check_float_eq() {
+    const auto& t = toks();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kPunct || (t[i].text != "==" && t[i].text != "!=")) continue;
+      const Token* literal = nullptr;
+      if (i > 0 && t[i - 1].kind == TokKind::kNumber && is_float_literal(t[i - 1].text))
+        literal = &t[i - 1];
+      if (i + 1 < t.size() && t[i + 1].kind == TokKind::kNumber &&
+          is_float_literal(t[i + 1].text))
+        literal = &t[i + 1];
+      if (literal == nullptr) continue;
+      report(kRuleFloatEq, t[i].line,
+             "raw `" + t[i].text + "` against floating-point literal " + literal->text +
+                 "; use approx_eq/definitely_* from support/tolerance.hpp");
+    }
+  }
+
+  // --- epsilon-literal -----------------------------------------------------
+  void check_epsilon_literals() {
+    if (path_ends_with(path_, "support/tolerance.hpp")) return;  // the one home
+    constexpr double kEpsilonMagnitude = 1e-5;
+    for (const Token& tok : toks()) {
+      if (tok.kind != TokKind::kNumber || !is_float_literal(tok.text)) continue;
+      const double v = literal_value(tok.text);
+      const double mag = v < 0.0 ? -v : v;
+      if (mag > 0.0 && mag < kEpsilonMagnitude)
+        report(kRuleEpsilon, tok.line,
+               "inline epsilon literal " + tok.text +
+                   "; name the tolerance in support/tolerance.hpp instead");
+    }
+  }
+
+  // --- nodiscard -----------------------------------------------------------
+  // Header declarations whose return type is Status or Expected<...> must
+  // carry [[nodiscard]]; otherwise call sites silently drop error verdicts.
+  void check_nodiscard() {
+    if (!is_header(path_)) return;
+    const auto& t = toks();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || (t[i].text != "Status" && t[i].text != "Expected"))
+        continue;
+      if (i + 1 >= t.size()) continue;
+      // Qualified access (Status::error) or definitions (class Status) are
+      // not return-type positions.
+      if (t[i + 1].kind == TokKind::kPunct && t[i + 1].text == "::") continue;
+      if (i > 0 && t[i - 1].kind == TokKind::kIdent &&
+          (t[i - 1].text == "class" || t[i - 1].text == "struct" || t[i - 1].text == "enum"))
+        continue;
+      // Expression and parameter positions: `return Status...`, `(Status x`,
+      // `, Expected<T> x`, `new Status`, template arguments `<Status`.
+      if (i > 0) {
+        const std::string& prev = t[i - 1].text;
+        if (prev == "return" || prev == "(" || prev == "," || prev == "new" || prev == "<")
+          continue;
+      }
+      std::size_t j = i + 1;
+      if (t[i].text == "Expected") {
+        if (t[j].kind != TokKind::kPunct || t[j].text != "<") continue;
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].kind != TokKind::kPunct) continue;
+          if (t[j].text == "<") ++depth;
+          if (t[j].text == ">" && --depth == 0) break;
+        }
+        if (j >= t.size()) continue;
+        ++j;
+      }
+      while (j < t.size() && t[j].kind == TokKind::kPunct && t[j].text == "&") ++j;
+      while (j < t.size() && t[j].kind == TokKind::kIdent && t[j].text == "const") ++j;
+      if (j + 1 >= t.size() || t[j].kind != TokKind::kIdent) continue;
+      if (t[j + 1].kind != TokKind::kPunct || t[j + 1].text != "(") continue;
+      if (has_nodiscard_before(i)) continue;
+      report(kRuleNodiscard, t[i].line,
+             "`" + t[j].text + "` returns " + t[i].text +
+                 " but is not [[nodiscard]]; errors could be silently dropped");
+    }
+  }
+
+  bool has_nodiscard_before(std::size_t i) const {
+    static const std::set<std::string> kSpecifiers = {"static",   "inline", "constexpr",
+                                                      "virtual",  "friend", "explicit",
+                                                      "const"};
+    const auto& t = toks();
+    std::size_t pos = i;
+    while (pos > 0) {
+      const Token& p = t[pos - 1];
+      if (p.kind == TokKind::kIdent && kSpecifiers.count(p.text) > 0) {
+        --pos;
+        continue;
+      }
+      // Namespace qualification of the return type itself: rbs::Status f();
+      if (p.kind == TokKind::kPunct && p.text == "::" && pos >= 2) {
+        pos -= 2;
+        continue;
+      }
+      break;
+    }
+    if (pos == 0) return false;
+    const Token& p = t[pos - 1];
+    if (p.kind != TokKind::kPunct || p.text != "]]") return false;
+    for (std::size_t k = pos - 1; k > 0; --k) {
+      if (t[k - 1].kind == TokKind::kPunct && t[k - 1].text == "[[") return true;
+      if (t[k - 1].kind == TokKind::kIdent && t[k - 1].text == "nodiscard") continue;
+      if (t[k - 1].kind == TokKind::kPunct && t[k - 1].text == "]]") return false;
+    }
+    return false;
+  }
+
+  // --- nondet --------------------------------------------------------------
+  // Analysis and simulation must be reproducible bit-for-bit: no wall clock,
+  // no C randomness, raw engines only inside the seeded gen/rng.hpp wrapper.
+  void check_nondeterminism() {
+    if (!path_has_component(path_, "src")) return;
+    const bool rng_home = path_ends_with(path_, "gen/rng.hpp");
+    static const std::set<std::string> kCallBanned = {"rand",    "srand",   "drand48",
+                                                      "lrand48", "time",    "clock",
+                                                      "gettimeofday"};
+    static const std::set<std::string> kAlwaysBanned = {
+        "random_device", "system_clock", "steady_clock", "high_resolution_clock"};
+    static const std::set<std::string> kEngines = {
+        "mt19937",  "mt19937_64", "default_random_engine", "minstd_rand",
+        "minstd_rand0", "ranlux24", "ranlux48", "knuth_b"};
+    const auto& t = toks();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const bool member_access =
+          i > 0 && t[i - 1].kind == TokKind::kPunct && t[i - 1].text == ".";
+      if (member_access) continue;  // e.g. `event.time`, `stats.clock`
+      const bool called =
+          i + 1 < t.size() && t[i + 1].kind == TokKind::kPunct && t[i + 1].text == "(";
+      if (kCallBanned.count(t[i].text) > 0 && called)
+        report(kRuleNondet, t[i].line,
+               "call to `" + t[i].text + "` is nondeterministic; draw through rbs::Rng "
+               "with an explicit seed");
+      else if (kAlwaysBanned.count(t[i].text) > 0)
+        report(kRuleNondet, t[i].line,
+               "`" + t[i].text + "` is nondeterministic; analysis code must be "
+               "reproducible bit-for-bit");
+      else if (!rng_home && kEngines.count(t[i].text) > 0)
+        report(kRuleNondet, t[i].line,
+               "raw engine `" + t[i].text + "` outside gen/rng.hpp; use rbs::Rng so "
+               "seeding conventions stay uniform");
+    }
+  }
+
+  // --- include-hygiene -----------------------------------------------------
+  void check_include_hygiene() {
+    const auto& t = toks();
+    std::set<std::string> seen_includes;
+    bool pragma_once = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind == TokKind::kPragma && t[i].text == "once") pragma_once = true;
+      if (t[i].kind == TokKind::kInclude) {
+        if (t[i].text == "<bits/stdc++.h>")
+          report(kRuleInclude, t[i].line,
+                 "<bits/stdc++.h> is non-standard and bloats every TU; include what you use");
+        if (!seen_includes.insert(t[i].text).second)
+          report(kRuleInclude, t[i].line, "duplicate include of " + t[i].text);
+      }
+      if (is_header(path_) && t[i].kind == TokKind::kIdent && t[i].text == "using" &&
+          i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+          t[i + 1].text == "namespace")
+        report(kRuleInclude, t[i].line,
+               "using-namespace in a header leaks into every includer");
+    }
+    if (is_header(path_) && !pragma_once)
+      report(kRuleInclude, 1, "header is missing #pragma once");
+  }
+
+  std::string path_;
+  const Lexed& lexed_;
+  std::set<std::string> enabled_;
+  std::map<int, std::set<std::string>> suppressions_;
+  std::vector<Diagnostic> diags_;
+};
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+bool excluded(const std::string& path, const Options& options) {
+  for (const std::string& fragment : options.excludes)
+    if (path.find(fragment) != std::string::npos) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> all_rule_names() {
+  return {kRuleFloatEq, kRuleEpsilon, kRuleNodiscard, kRuleNondet, kRuleInclude};
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& text,
+                                    const Options& options) {
+  const Lexed lexed = Lexer(text).run();
+  return Checker(path, lexed, options).run();
+}
+
+std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
+                                   const Options& options) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::vector<Diagnostic> diags;
+  for (const std::string& root : paths) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end; it != end; it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && lintable_extension(it->path()))
+          files.push_back(it->path().generic_string());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(fs::path(root).generic_string());
+    } else {
+      diags.push_back({root, 0, "io-error", "no such file or directory"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& file : files) {
+    if (excluded(file, options)) continue;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      diags.push_back({file, 0, "io-error", "cannot open file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<Diagnostic> file_diags = lint_source(file, buffer.str(), options);
+    diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+  }
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return diags;
+}
+
+std::string format(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << diagnostic.file << ":" << diagnostic.line << ": error: [" << diagnostic.rule << "] "
+     << diagnostic.message;
+  return os.str();
+}
+
+}  // namespace rbs::lint

@@ -1,0 +1,63 @@
+// rbs_lint: the project's own static-analysis pass.
+//
+// A dependency-free lexical analyzer that enforces the soundness rules the
+// demand-based MC analysis depends on (docs/static-analysis.md has the full
+// rationale per rule):
+//
+//   float-eq         no raw ==/!= against floating-point literals; route
+//                    boundary comparisons through support/tolerance.hpp
+//   epsilon-literal  no inline comparison-epsilon literals (|v| < 1e-5)
+//                    outside support/tolerance.hpp
+//   nodiscard        header declarations returning Status/Expected must be
+//                    [[nodiscard]] so call sites cannot drop error verdicts
+//   nondet           no wall-clock / unseeded randomness in src/ (raw
+//                    engines live only in gen/rng.hpp)
+//   include-hygiene  #pragma once in headers, no <bits/stdc++.h>, no
+//                    duplicate includes, no using-namespace in headers
+//
+// Suppression: a comment `// rbs-lint: allow(rule)` (comma-separated list
+// accepted) silences the named rule on its own line and the next line.
+//
+// The engine lints text it is handed -- the CLI driver (main.cpp) walks the
+// tree, and tests/lint/rbs_lint_test.cpp replays a fixture corpus through
+// lint_paths() and golden-diffs the diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rbs::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Rules to run; empty means every rule.
+  std::vector<std::string> rules;
+  /// Path substrings to skip entirely (e.g. "lint/corpus").
+  std::vector<std::string> excludes;
+};
+
+/// Names of every implemented rule, in canonical order.
+std::vector<std::string> all_rule_names();
+
+/// Lints one translation unit. `path` is used for diagnostics and for the
+/// path-scoped rules (nondet applies under src/, tolerance.hpp is exempt
+/// from epsilon-literal, gen/rng.hpp may name raw engines).
+std::vector<Diagnostic> lint_source(const std::string& path, const std::string& text,
+                                    const Options& options = {});
+
+/// Walks files and directories (recursing into *.hpp / *.cpp / *.h / *.cc),
+/// lints each, and returns all diagnostics sorted by (file, line, rule).
+/// Unreadable paths produce a file-level diagnostic with rule "io-error".
+std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
+                                   const Options& options = {});
+
+/// "path:line: error: [rule] message" -- the single diagnostic format.
+std::string format(const Diagnostic& diagnostic);
+
+}  // namespace rbs::lint

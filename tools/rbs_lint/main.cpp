@@ -1,0 +1,75 @@
+// CLI driver for rbs_lint. Exit codes: 0 clean, 1 violations, 2 usage/IO.
+//
+//   rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--list-rules] path...
+//
+// Paths may be files or directories (recursed for *.hpp/*.cpp/*.h/*.cc).
+// Wired into ctest under the label `lint`; see docs/static-analysis.md.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rbs_lint/lint.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--list-rules] "
+               "path...\n");
+}
+
+std::vector<std::string> split_commas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rbs::lint::Options options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : rbs::lint::all_rule_names())
+        std::printf("%s\n", rule.c_str());
+      return 0;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      options.rules = split_commas(arg.substr(8));
+      continue;
+    }
+    if (arg.rfind("--exclude=", 0) == 0) {
+      options.excludes.push_back(arg.substr(10));
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      usage();
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::vector<rbs::lint::Diagnostic> diags = rbs::lint::lint_paths(paths, options);
+  bool io_error = false;
+  for (const rbs::lint::Diagnostic& d : diags) {
+    std::printf("%s\n", rbs::lint::format(d).c_str());
+    if (d.rule == "io-error") io_error = true;
+  }
+  if (io_error) return 2;
+  if (!diags.empty()) {
+    std::fprintf(stderr, "rbs_lint: %zu violation(s)\n", diags.size());
+    return 1;
+  }
+  return 0;
+}

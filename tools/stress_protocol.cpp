@@ -37,6 +37,7 @@
 #include "sim/simulator.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/watchdog.hpp"
+#include "support/tolerance.hpp"
 #include "support/cli.hpp"
 #include "support/taskset_io.hpp"
 
@@ -78,11 +79,12 @@ WatchdogOptions derive_license(const TaskSet& set, const SimConfig& cfg) {
   // Between budget polls an overrun runs undetected in LO mode, voiding the
   // LO-mode test; the latency analyses similarly exclude the engagement gap.
   opts.license.lo_mode_misses = cfg.faults.detection_period > 0.0;
-  bool latency_free = cfg.speed_change_latency == 0.0;
+  bool latency_free = rbs::approx_zero(cfg.speed_change_latency, rbs::kTimeTol);
   for (const rbs::sim::FaultSpec& e : cfg.faults.episodes)
     if (e.extra_latency > 0.0) latency_free = false;
-  if (latency_free && !opts.license.hi_mode_misses && cfg.faults.detection_period == 0.0 &&
-      cfg.max_boost_duration == 0.0)
+  if (latency_free && !opts.license.hi_mode_misses &&
+      rbs::approx_zero(cfg.faults.detection_period, rbs::kTimeTol) &&
+      rbs::approx_zero(cfg.max_boost_duration, rbs::kTimeTol))
     opts.delta_r_bound = rbs::resetting_time_value(set, achieved);
   return opts;
 }
@@ -180,7 +182,8 @@ void report_failure(const Scenario& sc, const WatchdogReport& report,
       std::cerr << "  task=" << t << " release=" << j.release << " demand=" << j.demand << "\n";
 
   if (!dump_prefix.empty()) {
-    rbs::write_task_set_file(dump_prefix + ".taskset", sc.set);
+    if (!rbs::write_task_set_file(dump_prefix + ".taskset", sc.set))
+      std::cerr << "warning: could not write " << dump_prefix << ".taskset\n";
     SimConfig cfg = sc.cfg;
     cfg.scripted_arrivals = repro;
     const Expected<SimResult> rerun = rbs::sim::try_simulate(sc.set, cfg);
