@@ -18,18 +18,33 @@
 // with the paper's magnitudes) or --x-policy exact (bisection over the exact
 // demand test; yields smaller x and smaller required speedups).
 //
-//   bench_fig6_sim [--sets 200] [--seed 1] [--x-policy util|exact] [--csv <dir>]
+// The campaign maps one item per (U_bound, set) pair over the rbs::Analyzer
+// facade via campaign::CampaignRunner: each item owns a private RNG stream
+// derived from --seed, so --jobs 8 output is byte-identical to --jobs 1.
+//
+//   bench_fig6_sim [--sets 200] [--seed 1] [--jobs N] [--x-policy util|exact]
+//                  [--csv <dir>]
 #include "common.hpp"
 
+#include <array>
 #include <cmath>
 #include <map>
-
-#include "gen/rng.hpp"
-#include "gen/taskgen.hpp"
 
 namespace {
 
 constexpr double kTicksPerMs = 10.0;  // 1 tick = 0.1 ms
+
+constexpr std::array<double, 7> kUBounds = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+constexpr std::array<double, 3> kYs = {1.5, 2.0, 3.0};
+constexpr std::array<double, 2> kSpeeds = {2.0, 3.0};
+
+/// Everything one campaign item (one random set at one U_bound) learns.
+struct Fig6Item {
+  bool generated = false;           ///< acceptance window hit
+  bool feasible = false;            ///< LO-mode schedulable x exists
+  std::array<double, kYs.size()> s_min{};                         ///< per y
+  std::array<std::array<double, kSpeeds.size()>, kYs.size()> delta_r{};  ///< per (y, s)
+};
 
 std::string box_row_label(double u) { return rbs::TextTable::num(u, 1); }
 
@@ -46,53 +61,74 @@ int main(int argc, char** argv) {
   using namespace rbs;
   const CliArgs args(argc, argv);
   const int sets_per_point = static_cast<int>(args.get_int("sets", 200));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const campaign::CampaignOptions campaign_options = bench::parse_campaign(args);
   const bench::XPolicy x_policy = bench::parse_x_policy(args, bench::XPolicy::kUtilization);
   bench::banner("Figure 6 (synthesized task sets)",
                 "Distributions of the required speedup and the resetting time across\n"
                 "random task sets (" +
-                    std::to_string(sets_per_point) + " per utilization point).");
+                    std::to_string(sets_per_point) + " per utilization point, " +
+                    std::to_string(campaign_options.jobs) + " job(s)).");
 
-  const double u_bounds[] = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
-  const double ys[] = {1.5, 2.0, 3.0};
-  const double speeds[] = {2.0, 3.0};
+  // One campaign item per (U_bound, set index); gathered in input order, so
+  // the aggregation below is independent of the worker count.
+  const campaign::CampaignRunner runner(campaign_options);
+  const Analyzer analyzer;
+  const std::size_t n_items = kUBounds.size() * static_cast<std::size_t>(sets_per_point);
+  const std::vector<Fig6Item> items = runner.map<Fig6Item>(
+      n_items, [&analyzer, sets_per_point, x_policy](std::size_t index, Rng& rng) {
+        Fig6Item item;
+        GenParams params;
+        params.u_bound = kUBounds[index / static_cast<std::size_t>(sets_per_point)];
+        const auto skeleton = bench::generate_with_retry(params, rng);
+        if (!skeleton) return item;
+        item.generated = true;
+        const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
+        if (!x_min) return item;
+        item.feasible = true;
+        for (std::size_t yi = 0; yi < kYs.size(); ++yi) {
+          const TaskSet set = skeleton->materialize(*x_min, kYs[yi]);
+          // One fused sweep yields s_min and Delta_R at the first speed; the
+          // remaining speeds only need the crossing search.
+          const AnalysisReport first =
+              analyzer.analyze(set, kSpeeds[0], {.speedup = true, .reset = true, .lo = false})
+                  .value();
+          item.s_min[yi] = first.s_min;
+          item.delta_r[yi][0] = first.delta_r;
+          for (std::size_t si = 1; si < kSpeeds.size(); ++si)
+            item.delta_r[yi][si] =
+                analyzer.analyze(set, kSpeeds[si], {.speedup = false, .reset = true, .lo = false})
+                    .value()
+                    .delta_r;
+        }
+        return item;
+      });
 
   // samples[u] -> s_min list (y = 2); reset[u] -> Delta_R list (y = 2, s = 3)
   std::map<double, std::vector<double>> smin_by_u;
   std::map<double, std::map<double, std::vector<double>>> smin_by_u_y;
   std::map<double, std::vector<double>> reset_by_u;
   std::map<double, std::map<std::pair<double, double>, std::vector<double>>> reset_by_u_sy;
-
-  Rng rng(seed);
-  int infeasible_lo = 0;
-  for (double u : u_bounds) {
-    GenParams params;
-    params.u_bound = u;
-    for (int i = 0; i < sets_per_point; ++i) {
-      const auto skeleton = generate_task_set(params, rng);
-      if (!skeleton) {
-        --i;  // acceptance window missed; retry with fresh randomness
-        continue;
+  int infeasible_lo = 0, missed_window = 0;
+  for (std::size_t index = 0; index < items.size(); ++index) {
+    const Fig6Item& item = items[index];
+    const double u = kUBounds[index / static_cast<std::size_t>(sets_per_point)];
+    if (!item.generated) {
+      ++missed_window;
+      continue;
+    }
+    if (!item.feasible) {
+      ++infeasible_lo;
+      continue;
+    }
+    for (std::size_t yi = 0; yi < kYs.size(); ++yi) {
+      const double y = kYs[yi];
+      smin_by_u_y[u][y].push_back(item.s_min[yi]);
+      if (approx_eq(y, 2.0, kSpeedTol)) {
+        smin_by_u[u].push_back(item.s_min[yi]);
+        reset_by_u[u].push_back(item.delta_r[yi][1]);  // s = 3
       }
-      const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
-      if (!x_min) {
-        ++infeasible_lo;
-        continue;
-      }
-      for (double y : ys) {
-        const TaskSet set = skeleton->materialize(*x_min, y);
-        const double s_min = min_speedup_value(set);
-        smin_by_u_y[u][y].push_back(s_min);
-        if (approx_eq(y, 2.0, kSpeedTol)) {
-          smin_by_u[u].push_back(s_min);
-          reset_by_u[u].push_back(resetting_time_value(set, 3.0));
-          for (double s : speeds)
-            reset_by_u_sy[u][{s, y}].push_back(resetting_time_value(set, s));
-        } else {
-          for (double s : speeds)
-            reset_by_u_sy[u][{s, y}].push_back(resetting_time_value(set, s));
-        }
-      }
+      for (std::size_t si = 0; si < kSpeeds.size(); ++si)
+        reset_by_u_sy[u][{kSpeeds[si], y}].push_back(item.delta_r[yi][si]);
     }
   }
 
@@ -102,7 +138,7 @@ int main(int argc, char** argv) {
   ta.set_header({"U_bound", "min", "q1", "median", "q3", "max", "#outliers"});
   auto csv_a = bench::open_csv(args, "fig6a.csv");
   if (csv_a) csv_a->write_row({"u_bound", "min", "q1", "median", "q3", "max"});
-  for (double u : u_bounds) {
+  for (double u : kUBounds) {
     const BoxWhisker b = box_whisker(smin_by_u[u]);
     print_box(ta, u, b, 1.0);
     if (csv_a) csv_a->write_row_numeric({u, b.min, b.q1, b.median, b.q3, b.max});
@@ -123,10 +159,10 @@ int main(int argc, char** argv) {
   tb.set_header({"U_bound", "y=1.5", "y=2", "y=3"});
   auto csv_b = bench::open_csv(args, "fig6b.csv");
   if (csv_b) csv_b->write_row({"u_bound", "y1.5", "y2", "y3"});
-  for (double u : u_bounds) {
+  for (double u : kUBounds) {
     std::vector<std::string> row{box_row_label(u)};
     std::vector<double> csv_row{u};
-    for (double y : ys) {
+    for (double y : kYs) {
       const double med = median(smin_by_u_y[u][y]);
       row.push_back(TextTable::num(med, 3));
       csv_row.push_back(med);
@@ -143,7 +179,7 @@ int main(int argc, char** argv) {
   tc.set_header({"U_bound", "min", "q1", "median", "q3", "max", "#outliers"});
   auto csv_c = bench::open_csv(args, "fig6c.csv");
   if (csv_c) csv_c->write_row({"u_bound", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms"});
-  for (double u : u_bounds) {
+  for (double u : kUBounds) {
     const BoxWhisker b = box_whisker(reset_by_u[u]);
     print_box(tc, u, b, kTicksPerMs);
     if (csv_c)
@@ -166,11 +202,11 @@ int main(int argc, char** argv) {
                  "s=3,y=3"});
   auto csv_d = bench::open_csv(args, "fig6d.csv");
   if (csv_d) csv_d->write_row({"u_bound", "s2y1.5", "s2y2", "s2y3", "s3y1.5", "s3y2", "s3y3"});
-  for (double u : u_bounds) {
+  for (double u : kUBounds) {
     std::vector<std::string> row{box_row_label(u)};
     std::vector<double> csv_row{u};
-    for (double s : speeds)
-      for (double y : ys) {
+    for (double s : kSpeeds)
+      for (double y : kYs) {
         const double med = median(reset_by_u_sy[u][{s, y}]) / kTicksPerMs;
         row.push_back(TextTable::num(med, 1));
         csv_row.push_back(med);
@@ -183,5 +219,7 @@ int main(int argc, char** argv) {
   if (infeasible_lo > 0)
     std::cout << "(" << infeasible_lo << " generated sets were not LO-mode schedulable and "
               << "were skipped.)\n";
+  if (missed_window > 0)
+    std::cout << "(" << missed_window << " items missed the generator acceptance window.)\n";
   return 0;
 }

@@ -17,7 +17,12 @@
 // at all -- an interesting finding recorded in EXPERIMENTS.md; the paper's
 // differentiated regions match the utilization rule.
 //
-//   bench_fig7_region [--sets 30] [--step 0.1] [--seed 1]
+// The campaign maps one item per (grid cell, set) triple over the
+// rbs::Analyzer facade -- one fused sweep delivers s_min and Delta_R(2)
+// together -- and gathers results in input order, so --jobs N output is
+// byte-identical to the serial run.
+//
+//   bench_fig7_region [--sets 30] [--step 0.1] [--seed 1] [--jobs N]
 //                     [--x-policy util|exact] [--csv <dir>]
 #include "common.hpp"
 
@@ -26,22 +31,63 @@
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
 
+namespace {
+
+/// Verdicts of one random set at one grid cell.
+struct Fig7Item {
+  bool generated = false;  ///< generator hit the +-0.025 neighbourhood
+  bool vd_ok = false;      ///< EDF-VD utilization test accepts
+  bool plain_ok = false;   ///< s_min <= 1 (no speedup needed)
+  bool speedup_ok = false; ///< s_min <= 2 and Delta_R(2) <= 5 s
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rbs;
   const CliArgs args(argc, argv);
   const int sets_per_point = static_cast<int>(args.get_int("sets", 30));
   const double step = args.get_double("step", 0.1);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const campaign::CampaignOptions campaign_options = bench::parse_campaign(args);
   const bench::XPolicy x_policy = bench::parse_x_policy(args, bench::XPolicy::kUtilization);
   bench::banner("Figure 7 (schedulability regions)",
                 "Fraction of task sets schedulable with 2x speedup for <= 5 s, over\n"
                 "the (U_HI, U_LO) plane; gamma = 10, LO tasks terminated. " +
-                    std::to_string(sets_per_point) + " sets per point.");
+                    std::to_string(sets_per_point) + " sets per point, " +
+                    std::to_string(campaign_options.jobs) + " job(s).");
 
   constexpr double kMaxResetTicks = 50000.0;  // 5 s at 1 tick = 0.1 ms
 
   std::vector<double> grid;
   for (double u = step; u <= 0.96; u += step) grid.push_back(u);
+
+  // One campaign item per (U_HI row, U_LO column, set index).
+  const std::size_t per_cell = static_cast<std::size_t>(sets_per_point);
+  const std::size_t n_items = grid.size() * grid.size() * per_cell;
+  const campaign::CampaignRunner runner(campaign_options);
+  const Analyzer analyzer;
+  const std::vector<Fig7Item> items = runner.map<Fig7Item>(
+      n_items, [&grid, &analyzer, per_cell, x_policy](std::size_t index, Rng& rng) {
+        Fig7Item item;
+        const std::size_t cell = index / per_cell;
+        RegionParams params;
+        params.u_hi = grid[cell / grid.size()];
+        params.u_lo = grid[cell % grid.size()];
+        const auto skeleton = generate_region_set(params, rng);
+        if (!skeleton) return item;  // neighbourhood unreachable; not counted
+        item.generated = true;
+        item.vd_ok = edf_vd_schedulable(*skeleton).schedulable;
+        const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
+        if (!x_min) return item;
+        const TaskSet set = skeleton->materialize_terminating(*x_min);
+        // One fused breakpoint sweep: the Theorem 2 certificate and the
+        // Corollary 5 crossing at s = 2 from a single walk.
+        const AnalysisReport report =
+            analyzer.analyze(set, 2.0, {.speedup = true, .reset = true, .lo = false}).value();
+        item.plain_ok = report.s_min <= 1.0;
+        item.speedup_ok = report.s_min <= 2.0 && report.delta_r <= kMaxResetTicks;
+        return item;
+      });
 
   auto csv = bench::open_csv(args, "fig7.csv");
   if (csv) csv->write_row({"u_hi", "u_lo", "pct_speedup", "pct_nospeedup", "pct_edfvd"});
@@ -53,28 +99,23 @@ int main(int argc, char** argv) {
   plain_table.set_header(header);
   vd_table.set_header(header);
 
-  Rng rng(seed);
   double pct_at_085 = -1.0;
-  for (double u_hi : grid) {
+  for (std::size_t hi = 0; hi < grid.size(); ++hi) {
+    const double u_hi = grid[hi];
     std::vector<std::string> row_s{TextTable::num(u_hi, 2)};
     std::vector<std::string> row_p{TextTable::num(u_hi, 2)};
     std::vector<std::string> row_v{TextTable::num(u_hi, 2)};
-    for (double u_lo : grid) {
-      RegionParams params;
-      params.u_hi = u_hi;
-      params.u_lo = u_lo;
+    for (std::size_t lo = 0; lo < grid.size(); ++lo) {
+      const double u_lo = grid[lo];
+      const std::size_t base = (hi * grid.size() + lo) * per_cell;
       int ok_speedup = 0, ok_plain = 0, ok_vd = 0, total = 0;
-      for (int i = 0; i < sets_per_point; ++i) {
-        const auto skeleton = generate_region_set(params, rng);
-        if (!skeleton) continue;
+      for (std::size_t i = 0; i < per_cell; ++i) {
+        const Fig7Item& item = items[base + i];
+        if (!item.generated) continue;
         ++total;
-        if (edf_vd_schedulable(*skeleton).schedulable) ++ok_vd;
-        const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
-        if (!x_min) continue;
-        const TaskSet set = skeleton->materialize_terminating(*x_min);
-        const double s_min = min_speedup_value(set);
-        if (s_min <= 1.0) ++ok_plain;
-        if (s_min <= 2.0 && resetting_time_value(set, 2.0) <= kMaxResetTicks) ++ok_speedup;
+        ok_vd += item.vd_ok;
+        ok_plain += item.plain_ok;
+        ok_speedup += item.speedup_ok;
       }
       // total == 0 means the generator cannot hit this neighbourhood at all
       // (e.g. U_HI below the smallest single-task u_hi at gamma = 10).

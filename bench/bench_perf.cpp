@@ -1,9 +1,29 @@
 // Micro-benchmarks (google-benchmark) of the analysis and simulation
-// kernels: demand-bound evaluation, the pseudo-polynomial speedup search
+// kernels -- demand-bound evaluation, the pseudo-polynomial speedup search
 // (Theorem 2), the resetting-time solver (Corollary 5), task generation and
-// simulator throughput.
+// simulator throughput -- plus a campaign-throughput benchmark of the
+// parallel engine (BM_CampaignAnalyze, one arg per worker count).
+//
+// Campaign mode (instead of google-benchmark):
+//
+//   bench_perf --smoke [--jobs N] [--sets N] [--seed N] [--csv <dir>]
+//
+// runs the same generate-and-analyze campaign twice, at --jobs 1 and at
+// --jobs N, byte-compares every result row (the determinism contract of
+// campaign/runner.hpp: output depends only on seed and item count, never on
+// the worker count) and prints both throughputs. Exit code 1 on any
+// mismatch. `--campaign` is an alias for `--smoke`. This is the `ctest -L
+// campaign` smoke gate; CI also runs it under TSan and ASan.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
 #include "rbs.hpp"
@@ -26,6 +46,89 @@ TaskSet make_set(std::uint64_t seed, double u_bound, double x, double y) {
   }
   throw std::runtime_error("could not generate benchmark set");
 }
+
+// ---------------------------------------------------------------------------
+// Campaign workload: one item = generate a random set, prepare it, run one
+// fused Analyzer sweep, format the result as a CSV row. The row strings are
+// the unit of the byte-identity check.
+// ---------------------------------------------------------------------------
+
+std::string campaign_row(std::size_t index, const Analyzer& analyzer, Rng& rng) {
+  GenParams params;
+  params.u_bound = 0.7;
+  const auto skeleton = bench::generate_with_retry(params, rng);
+  if (!skeleton) return std::to_string(index) + ",skipped";
+  const auto set = bench::materialize_min_x(*skeleton, 2.0);
+  if (!set) return std::to_string(index) + ",infeasible";
+  const AnalysisReport r = analyzer.analyze(*set, 2.0).value();
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer, "%zu,%.17g,%.17g,%d,%d,%zu", index, r.s_min,
+                r.delta_r, r.lo_schedulable ? 1 : 0, r.hi_schedulable ? 1 : 0,
+                r.fused_breakpoints);
+  return buffer;
+}
+
+std::vector<std::string> run_campaign(unsigned jobs, std::uint64_t seed, std::size_t n_sets,
+                                      double* elapsed_s) {
+  campaign::CampaignOptions options;
+  options.jobs = jobs;
+  options.seed = seed;
+  const campaign::CampaignRunner runner(options);
+  const Analyzer analyzer;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> rows = runner.map<std::string>(
+      n_sets,
+      [&analyzer](std::size_t index, Rng& rng) { return campaign_row(index, analyzer, rng); });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (elapsed_s) *elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  return rows;
+}
+
+int run_campaign_mode(const CliArgs& args) {
+  const campaign::CampaignOptions options = bench::parse_campaign(args, /*default_seed=*/1);
+  const auto n_sets = static_cast<std::size_t>(args.get_int("sets", 200));
+  campaign::CampaignOptions resolved = options;
+  if (resolved.jobs == 0) resolved.jobs = campaign::CampaignRunner(options).jobs();
+
+  std::cout << "campaign smoke: " << n_sets << " sets, seed " << options.seed
+            << ", comparing --jobs 1 vs --jobs " << resolved.jobs << "\n";
+
+  double serial_s = 0.0, parallel_s = 0.0;
+  const std::vector<std::string> serial = run_campaign(1, options.seed, n_sets, &serial_s);
+  const std::vector<std::string> parallel =
+      run_campaign(resolved.jobs, options.seed, n_sets, &parallel_s);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n_sets; ++i) {
+    if (serial[i] != parallel[i]) {
+      if (++mismatches <= 5)
+        std::cout << "MISMATCH at item " << i << ":\n  jobs=1: " << serial[i]
+                  << "\n  jobs=" << resolved.jobs << ": " << parallel[i] << "\n";
+    }
+  }
+
+  if (auto csv = bench::open_csv(args, "campaign.csv")) {
+    csv->write_row({"index", "s_min", "delta_r", "lo_ok", "hi_ok", "fused_breakpoints"});
+    for (const std::string& row : parallel) csv->write_raw_line(row);
+  }
+
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  std::printf("jobs=1: %.3f s (%.1f sets/s)\n", serial_s,
+              serial_s > 0.0 ? static_cast<double>(n_sets) / serial_s : 0.0);
+  std::printf("jobs=%u: %.3f s (%.1f sets/s), speedup %.2fx\n", resolved.jobs, parallel_s,
+              parallel_s > 0.0 ? static_cast<double>(n_sets) / parallel_s : 0.0, speedup);
+  if (mismatches > 0) {
+    std::cout << "FAIL: " << mismatches << " row(s) differ between jobs=1 and jobs="
+              << resolved.jobs << "\n";
+    return 1;
+  }
+  std::cout << "OK: all " << n_sets << " rows byte-identical across worker counts\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark kernels
+// ---------------------------------------------------------------------------
 
 void BM_DbfHiTotal(benchmark::State& state) {
   const TaskSet set = make_set(1, 0.7, -1.0, 2.0);
@@ -50,6 +153,19 @@ void BM_ResettingTime(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(resetting_time(set, 2.0).delta_r);
 }
 BENCHMARK(BM_ResettingTime);
+
+// The fused facade sweep against the two independent walks it replaces
+// (BM_MinSpeedup + BM_ResettingTime measure those separately).
+void BM_FusedAnalyze(benchmark::State& state) {
+  const TaskSet set = make_set(7, 0.7, -1.0, 2.0);
+  const Analyzer analyzer;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analyzer.analyze(set, 2.0, {.speedup = true, .reset = true, .lo = false})
+            .value()
+            .s_min);
+}
+BENCHMARK(BM_FusedAnalyze);
 
 void BM_LoModeForwardSweep(benchmark::State& state) {
   const TaskSet set = make_set(21, 0.9, 0.4, 2.0);  // constrained deadlines
@@ -99,6 +215,64 @@ void BM_SimulatorThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorThroughput);
 
+// End-to-end campaign throughput (generate + prepare + fused analyze per
+// item) at 1/2/4/8 workers. On a single-core host the >1 args merely
+// exercise the pool; the scaling numbers are meaningful on real multi-core
+// runners.
+void BM_CampaignAnalyze(benchmark::State& state) {
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kSets = 32;
+  std::size_t items = 0;
+  for (auto _ : state) {
+    const std::vector<std::string> rows = run_campaign(jobs, 1, kSets, nullptr);
+    benchmark::DoNotOptimize(rows.data());
+    items += rows.size();
+  }
+  state.counters["sets/s"] =
+      benchmark::Counter(static_cast<double>(items), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// True for argv entries that belong to campaign mode, not google-benchmark.
+bool is_campaign_flag(const char* arg, bool* eats_value) {
+  static constexpr const char* kValueFlags[] = {"--jobs", "--sets", "--seed", "--csv"};
+  static constexpr const char* kBoolFlags[] = {"--smoke", "--campaign"};
+  *eats_value = false;
+  for (const char* flag : kBoolFlags)
+    if (std::strcmp(arg, flag) == 0) return true;
+  for (const char* flag : kValueFlags) {
+    if (std::strcmp(arg, flag) == 0) {
+      *eats_value = true;  // `--jobs 8` form: the next argv entry is the value
+      return true;
+    }
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("smoke") || args.has("campaign")) return run_campaign_mode(args);
+
+  // Plain benchmark run: drop any campaign flags so google-benchmark's own
+  // parser does not reject them.
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    bool eats_value = false;
+    if (i > 0 && is_campaign_flag(argv[i], &eats_value)) {
+      if (eats_value && i + 1 < argc && argv[i + 1][0] != '-') ++i;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,74 +8,151 @@
 //  (2) offline turbo-envelope admissibility of random workloads, including
 //      the termination fallback;
 //  (3) executed duty cycle under the burst-separation model vs the analytic
-//      Delta_R / T_O bound.
+//      Delta_R / T_O bound;
+//  (4) certificate inflation under DVFS transition latency.
 //
-//   bench_turbo [--sets 40] [--seed 1]
+// Each section is its own campaign (seed derived from --seed and the section
+// number) mapped over the rbs::Analyzer facade; one fused sweep per set
+// replaces the per-(speed, set) recomputation of s_min the serial version
+// did. Results gather in input order: --jobs N output matches --jobs 1.
+//
+//   bench_turbo [--sets 40] [--seed 1] [--jobs N]
 #include "common.hpp"
 
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
 #include "sim/simulator.hpp"
 
+namespace {
+
+constexpr std::array<double, 7> kSpeeds = {1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0};
+constexpr std::array<double, 4> kLatenciesMs = {0.0, 1.0, 5.0, 20.0};
+constexpr std::array<double, 3> kUBounds = {0.5, 0.7, 0.9};            // section 2
+constexpr std::array<double, 3> kSeparationsMs = {500.0, 1000.0, 2000.0};  // section 3
+
+/// Campaign options for section `section`, so sections draw from distinct
+/// yet --seed-reproducible stream families.
+rbs::campaign::CampaignOptions section_options(const rbs::campaign::CampaignOptions& base,
+                                               std::uint64_t section) {
+  rbs::campaign::CampaignOptions options = base;
+  options.seed = rbs::campaign::item_seed(base.seed, section);
+  return options;
+}
+
+struct EnergyItem {
+  bool has_set = false;
+  double s_min = 0.0;
+  std::array<double, kSpeeds.size()> delta_r{};  ///< only where s_min <= s
+  bool level_feasible = false;
+  double optimal_speed = 0.0;  ///< energy-optimal menu level
+};
+
+struct EnvelopeItem {
+  bool has_set = false;
+  bool speed_ok = false, duration_ok = false, rescued = false, admissible = false;
+};
+
+struct DutyItem {
+  bool counted = false;  ///< set feasible at 2x with dR <= T_O
+  double bound_pct = 0.0, duty_pct = 0.0;
+  bool violated = false;  ///< executed duty exceeded the analytic bound
+};
+
+struct LatencyItem {
+  bool has_set = false;
+  std::array<double, kLatenciesMs.size()> s_min{};    ///< +inf when infeasible
+  std::array<double, kLatenciesMs.size()> delta_r{};  ///< at s = 2
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rbs;
   const CliArgs args(argc, argv);
   const int n_sets = static_cast<int>(args.get_int("sets", 40));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const campaign::CampaignOptions base_options = bench::parse_campaign(args);
   bench::banner("Turbo budget & DVFS energy",
                 "Boost-energy trade-off, envelope admissibility and executed duty\n"
-                "cycles under the burst-separation assumption.");
+                "cycles under the burst-separation assumption (" +
+                    std::to_string(base_options.jobs) + " job(s)).");
 
-  Rng rng(seed);
   GenParams params;
   params.u_bound = 0.7;
   params.period_min = 20;
   params.period_max = 2000;
 
+  const Analyzer analyzer;
+
   // ---- (1) energy per boost episode across a DVFS menu ----
   std::cout << "(1) boost energy, cubic power model P(s) = s^3 (medians over sets)\n";
-  const double speeds[] = {1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0};
   TextTable t1;
   t1.set_header({"level s", "P(s)", "med Delta_R [ms]", "med energy P*dR", "feasible [%]"});
   {
-    std::vector<TaskSet> sets;
-    for (int i = 0; i < n_sets; ++i) {
-      const auto skeleton = generate_task_set(params, rng);
-      if (!skeleton) continue;
-      if (const auto set = bench::materialize_min_x(*skeleton, 2.0)) sets.push_back(*set);
-    }
-    int optimal_counts[std::size(speeds)] = {};
-    for (double s : speeds) {
+    const FrequencyMenu menu = FrequencyMenu::cubic({1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0});
+    const campaign::CampaignRunner runner(section_options(base_options, 1));
+    const std::vector<EnergyItem> items = runner.map<EnergyItem>(
+        static_cast<std::size_t>(n_sets),
+        [&analyzer, &menu, &params](std::size_t, Rng& rng) {
+          EnergyItem item;
+          const auto skeleton = bench::generate_with_retry(params, rng);
+          if (!skeleton) return item;
+          const auto set = bench::materialize_min_x(*skeleton, 2.0);
+          if (!set) return item;
+          item.has_set = true;
+          // One certificate per set (the serial version recomputed s_min for
+          // every menu level); reset sweeps only where the level suffices.
+          item.s_min =
+              analyzer.analyze(*set, 1.0, {.speedup = true, .reset = false, .lo = false})
+                  .value()
+                  .s_min;
+          for (std::size_t k = 0; k < kSpeeds.size(); ++k)
+            item.delta_r[k] =
+                item.s_min <= kSpeeds[k]
+                    ? analyzer
+                          .analyze(*set, kSpeeds[k],
+                                   {.speedup = false, .reset = true, .lo = false})
+                          .value()
+                          .delta_r
+                    : std::numeric_limits<double>::infinity();
+          const LevelChoice c = energy_optimal_level(*set, menu);
+          item.level_feasible = c.feasible;
+          if (c.feasible) item.optimal_speed = c.level.speed;
+          return item;
+        });
+
+    std::size_t total_sets = 0;
+    for (const EnergyItem& item : items) total_sets += item.has_set;
+    for (std::size_t k = 0; k < kSpeeds.size(); ++k) {
+      const double s = kSpeeds[k];
       std::vector<double> dr_ms, energy;
       int feasible = 0;
-      for (const TaskSet& set : sets) {
-        if (min_speedup_value(set) > s) continue;
-        const double dr = resetting_time_value(set, s);
-        if (!std::isfinite(dr)) continue;
+      for (const EnergyItem& item : items) {
+        if (!item.has_set || !std::isfinite(item.delta_r[k])) continue;
         ++feasible;
-        dr_ms.push_back(dr / 10.0);
-        energy.push_back(s * s * s * dr);
+        dr_ms.push_back(item.delta_r[k] / 10.0);
+        energy.push_back(s * s * s * item.delta_r[k]);
       }
       t1.add_row({TextTable::num(s, 1), TextTable::num(s * s * s, 2),
                   TextTable::num(median(dr_ms), 1), TextTable::num(median(energy), 0),
-                  TextTable::num(sets.empty() ? 0.0 : 100.0 * feasible /
-                                                          static_cast<double>(sets.size()),
+                  TextTable::num(total_sets == 0 ? 0.0
+                                                 : 100.0 * feasible /
+                                                       static_cast<double>(total_sets),
                                  0)});
     }
     t1.print(std::cout);
-    // Per-set energy-optimal level from the library's selector.
-    FrequencyMenu menu = FrequencyMenu::cubic({1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0});
-    for (const TaskSet& set : sets) {
-      const LevelChoice c = energy_optimal_level(set, menu);
-      if (!c.feasible) continue;
-      for (std::size_t k = 0; k < std::size(speeds); ++k)
-        if (approx_eq(speeds[k], c.level.speed, kSpeedTol)) ++optimal_counts[k];
+    int optimal_counts[kSpeeds.size()] = {};
+    for (const EnergyItem& item : items) {
+      if (!item.level_feasible) continue;
+      for (std::size_t k = 0; k < kSpeeds.size(); ++k)
+        if (approx_eq(kSpeeds[k], item.optimal_speed, kSpeedTol)) ++optimal_counts[k];
     }
     std::cout << "\nenergy-optimal level histogram:";
-    for (std::size_t k = 0; k < std::size(speeds); ++k)
-      std::cout << "  " << speeds[k] << "x:" << optimal_counts[k];
+    for (std::size_t k = 0; k < kSpeeds.size(); ++k)
+      std::cout << "  " << kSpeeds[k] << "x:" << optimal_counts[k];
     std::cout << "\n(the slowest feasible level usually wins under cubic power;\n"
                  "flatter power curves favour shorter, faster boosts)\n\n";
   }
@@ -88,70 +165,105 @@ int main(int argc, char** argv) {
   TextTable t2;
   t2.set_header({"U_bound", "speed ok [%]", "duration ok [%]", "fallback saves [%]",
                  "admissible [%]"});
-  for (double u : {0.5, 0.7, 0.9}) {
-    GenParams p2 = params;
-    p2.u_bound = u;
-    int total = 0, speed_ok = 0, duration_ok = 0, rescued = 0, admissible = 0;
-    for (int i = 0; i < n_sets; ++i) {
-      const auto skeleton = generate_task_set(p2, rng);
-      if (!skeleton) continue;
-      const auto set =
-          bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
-      if (!set) continue;
-      ++total;
-      TurboEnvelope env;
-      env.max_speedup = 1.6;
-      env.max_boost_ticks = 800.0;
-      const TurboReport r = check_turbo_envelope(*set, env);
-      speed_ok += r.speed_ok;
-      duration_ok += r.duration_ok;
-      rescued += (!r.duration_ok && r.speed_ok && r.fallback_safe);
-      admissible += r.admissible;
+  {
+    const campaign::CampaignRunner runner(section_options(base_options, 2));
+    const std::size_t per_u = static_cast<std::size_t>(n_sets);
+    const std::vector<EnvelopeItem> items = runner.map<EnvelopeItem>(
+        kUBounds.size() * per_u, [&params, per_u](std::size_t index, Rng& rng) {
+          EnvelopeItem item;
+          GenParams p2 = params;
+          p2.u_bound = kUBounds[index / per_u];
+          const auto skeleton = bench::generate_with_retry(p2, rng);
+          if (!skeleton) return item;
+          const auto set =
+              bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
+          if (!set) return item;
+          item.has_set = true;
+          TurboEnvelope env;
+          env.max_speedup = 1.6;
+          env.max_boost_ticks = 800.0;
+          const TurboReport r = check_turbo_envelope(*set, env);
+          item.speed_ok = r.speed_ok;
+          item.duration_ok = r.duration_ok;
+          item.rescued = !r.duration_ok && r.speed_ok && r.fallback_safe;
+          item.admissible = r.admissible;
+          return item;
+        });
+    for (std::size_t ui = 0; ui < kUBounds.size(); ++ui) {
+      int total = 0, speed_ok = 0, duration_ok = 0, rescued = 0, admissible = 0;
+      for (std::size_t i = 0; i < per_u; ++i) {
+        const EnvelopeItem& item = items[ui * per_u + i];
+        if (!item.has_set) continue;
+        ++total;
+        speed_ok += item.speed_ok;
+        duration_ok += item.duration_ok;
+        rescued += item.rescued;
+        admissible += item.admissible;
+      }
+      auto pct = [&](int k) { return TextTable::num(total ? 100.0 * k / total : 0.0, 0); };
+      t2.add_row({TextTable::num(kUBounds[ui], 1), pct(speed_ok), pct(duration_ok),
+                  pct(rescued), pct(admissible)});
     }
-    auto pct = [&](int k) {
-      return TextTable::num(total ? 100.0 * k / total : 0.0, 0);
-    };
-    t2.add_row({TextTable::num(u, 1), pct(speed_ok), pct(duration_ok), pct(rescued),
-                pct(admissible)});
+    t2.print(std::cout);
   }
-  t2.print(std::cout);
 
   // ---- (3) executed duty cycle vs the 1/T_O bound ----
   std::cout << "\n(3) executed boost duty cycle with bursts separated by T_O\n";
   TextTable t3;
   t3.set_header({"T_O [ms]", "analytic bound dR/T_O [%]", "executed duty [%]", "sets"});
-  for (double t_o_ms : {500.0, 1000.0, 2000.0}) {
-    const double t_o = t_o_ms * 10.0;  // ticks
-    std::vector<double> bounds, duties;
-    for (int i = 0; i < n_sets / 2; ++i) {
-      const auto skeleton = generate_task_set(params, rng);
-      if (!skeleton) continue;
-      const auto set = bench::materialize_min_x(*skeleton, 2.0);
-      if (!set || min_speedup_value(*set) > 2.0) continue;
-      const double dr = resetting_time_value(*set, 2.0);
-      if (!std::isfinite(dr) || dr > t_o) continue;  // the 1/T_O argument needs dR <= T_O
-      sim::SimConfig cfg;
-      cfg.horizon = 400000.0;  // 40 s
-      cfg.hi_speed = 2.0;
-      cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
-      cfg.min_overrun_separation = t_o;
-      cfg.seed = seed + static_cast<std::uint64_t>(i);
-      const sim::SimResult r = sim::simulate(*set, cfg);
-      double boosted = 0.0;
-      for (double d : r.hi_dwell_times) boosted += d;
-      bounds.push_back(100.0 * dr / t_o);
-      duties.push_back(100.0 * boosted / cfg.horizon);
-      // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
-      if (definitely_gt(duties.back(), bounds.back() + 100.0 * dr / cfg.horizon, kTimeTol)) {
-        std::cout << "ERROR: executed duty cycle exceeds the bound\n";
-        return 1;
+  {
+    const campaign::CampaignRunner runner(section_options(base_options, 3));
+    const std::size_t per_sep = static_cast<std::size_t>(n_sets / 2);
+    const std::vector<DutyItem> items = runner.map<DutyItem>(
+        kSeparationsMs.size() * per_sep,
+        [&analyzer, &params, per_sep](std::size_t index, Rng& rng) {
+          DutyItem item;
+          const double t_o = kSeparationsMs[index / per_sep] * 10.0;  // ticks
+          const auto skeleton = bench::generate_with_retry(params, rng);
+          if (!skeleton) return item;
+          const auto set = bench::materialize_min_x(*skeleton, 2.0);
+          if (!set) return item;
+          const AnalysisReport report =
+              analyzer.analyze(*set, 2.0, {.speedup = true, .reset = true, .lo = false})
+                  .value();
+          if (report.s_min > 2.0) return item;
+          const double dr = report.delta_r;
+          if (!std::isfinite(dr) || dr > t_o) return item;  // 1/T_O needs dR <= T_O
+          sim::SimConfig cfg;
+          cfg.horizon = 400000.0;  // 40 s
+          cfg.hi_speed = 2.0;
+          cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
+          cfg.min_overrun_separation = t_o;
+          cfg.seed = rng.fork_seed();
+          const sim::SimResult r = sim::simulate(*set, cfg);
+          double boosted = 0.0;
+          for (double d : r.hi_dwell_times) boosted += d;
+          item.counted = true;
+          item.bound_pct = 100.0 * dr / t_o;
+          item.duty_pct = 100.0 * boosted / cfg.horizon;
+          // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
+          item.violated = definitely_gt(item.duty_pct,
+                                        item.bound_pct + 100.0 * dr / cfg.horizon, kTimeTol);
+          return item;
+        });
+    for (std::size_t si = 0; si < kSeparationsMs.size(); ++si) {
+      std::vector<double> bounds, duties;
+      for (std::size_t i = 0; i < per_sep; ++i) {
+        const DutyItem& item = items[si * per_sep + i];
+        if (!item.counted) continue;
+        if (item.violated) {
+          std::cout << "ERROR: executed duty cycle exceeds the bound\n";
+          return 1;
+        }
+        bounds.push_back(item.bound_pct);
+        duties.push_back(item.duty_pct);
       }
+      t3.add_row({TextTable::num(kSeparationsMs[si], 0), TextTable::num(median(bounds), 2),
+                  TextTable::num(median(duties), 2),
+                  TextTable::num(static_cast<long long>(bounds.size()))});
     }
-    t3.add_row({TextTable::num(t_o_ms, 0), TextTable::num(median(bounds), 2),
-                TextTable::num(median(duties), 2),
-                TextTable::num(static_cast<long long>(bounds.size()))});
+    t3.print(std::cout);
   }
-  t3.print(std::cout);
   std::cout << "\nSpeedup is only temporarily required: with bursts T_O apart the\n"
                "processor is boosted for at most Delta_R/T_O of the time.\n";
 
@@ -162,36 +274,49 @@ int main(int argc, char** argv) {
   {
     GenParams p4 = params;
     p4.u_bound = 0.9;  // heavy sets: the boost (and thus the ramp) matters
-    std::vector<TaskSet> sets;
-    for (int i = 0; i < n_sets; ++i) {
-      const auto skeleton = generate_task_set(p4, rng);
-      if (!skeleton) continue;
-      if (const auto set = bench::materialize_min_x(*skeleton, 2.0,
-                                                    bench::XPolicy::kUtilization))
-        sets.push_back(*set);
-    }
-    for (double latency_ms : {0.0, 1.0, 5.0, 20.0}) {
-      const auto latency = static_cast<Ticks>(latency_ms * 10.0);
+    const campaign::CampaignRunner runner(section_options(base_options, 4));
+    const std::vector<LatencyItem> items = runner.map<LatencyItem>(
+        static_cast<std::size_t>(n_sets), [&p4](std::size_t, Rng& rng) {
+          LatencyItem item;
+          const auto skeleton = bench::generate_with_retry(p4, rng);
+          if (!skeleton) return item;
+          const auto set =
+              bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
+          if (!set) return item;
+          item.has_set = true;
+          for (std::size_t li = 0; li < kLatenciesMs.size(); ++li) {
+            const auto latency = static_cast<Ticks>(kLatenciesMs[li] * 10.0);
+            const LatencySpeedupResult r = min_speedup_with_latency(*set, latency);
+            item.s_min[li] = r.s_min;
+            item.delta_r[li] = std::isfinite(r.s_min)
+                                   ? resetting_time_with_latency(*set, 2.0, latency)
+                                   : std::numeric_limits<double>::infinity();
+          }
+          return item;
+        });
+    std::size_t total_sets = 0;
+    for (const LatencyItem& item : items) total_sets += item.has_set;
+    for (std::size_t li = 0; li < kLatenciesMs.size(); ++li) {
       std::vector<double> s_mins, resets;
       int infeasible = 0;
-      for (const TaskSet& set : sets) {
-        const LatencySpeedupResult r = min_speedup_with_latency(set, latency);
-        if (!std::isfinite(r.s_min)) {
+      for (const LatencyItem& item : items) {
+        if (!item.has_set) continue;
+        if (!std::isfinite(item.s_min[li])) {
           ++infeasible;
           continue;
         }
-        s_mins.push_back(r.s_min);
-        const double dr = resetting_time_with_latency(set, 2.0, latency);
-        if (std::isfinite(dr)) resets.push_back(dr / 10.0);
+        s_mins.push_back(item.s_min[li]);
+        if (std::isfinite(item.delta_r[li])) resets.push_back(item.delta_r[li] / 10.0);
       }
-      t4.add_row({TextTable::num(latency_ms, 0), TextTable::num(median(s_mins), 3),
+      t4.add_row({TextTable::num(kLatenciesMs[li], 0), TextTable::num(median(s_mins), 3),
                   TextTable::num(median(resets), 1),
-                  TextTable::num(sets.empty() ? 0.0 : 100.0 * infeasible /
-                                                          static_cast<double>(sets.size()),
+                  TextTable::num(total_sets == 0 ? 0.0
+                                                 : 100.0 * infeasible /
+                                                       static_cast<double>(total_sets),
                                  0)});
     }
+    t4.print(std::cout);
   }
-  t4.print(std::cout);
   std::cout << "\nSlow frequency ramps inflate both the certificate and the recovery\n"
                "time; past the shortest prepared deadline no boost can help at all.\n";
   return 0;

@@ -7,6 +7,8 @@
 #include <optional>
 #include <string>
 
+#include "campaign/runner.hpp"
+#include "gen/taskgen.hpp"
 #include "rbs.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
@@ -21,16 +23,45 @@ inline void banner(const std::string& experiment, const std::string& description
 }
 
 /// Opens a CSV file in the --csv directory (if given); returns nullopt when
-/// the flag is absent.
+/// the flag is absent. A failed open (missing/unwritable directory) is never
+/// fatal: the bench warns once per process and continues without CSV, no
+/// matter how many files it tried to open.
 inline std::optional<CsvWriter> open_csv(const CliArgs& args, const std::string& name) {
   if (!args.has("csv")) return std::nullopt;
   const std::string dir = args.get_string("csv", ".");
   CsvWriter writer(dir + "/" + name);
   if (!writer.ok()) {
-    std::cerr << "warning: cannot write " << dir << "/" << name << "\n";
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::cerr << "warning: cannot write CSV output under '" << dir
+                << "' (tried " << name << "); continuing without CSV\n";
+    }
     return std::nullopt;
   }
   return writer;
+}
+
+/// The shared `--jobs N` / `--seed N` campaign knobs. jobs defaults to 1 (the
+/// serial baseline); 0 means one worker per hardware core. Campaign output is
+/// byte-identical for every jobs value (see campaign/runner.hpp).
+inline campaign::CampaignOptions parse_campaign(const CliArgs& args,
+                                                std::uint64_t default_seed = 1) {
+  campaign::CampaignOptions options;
+  options.jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+  options.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(default_seed)));
+  return options;
+}
+
+/// Draws skeletons from the item's private RNG stream until the acceptance
+/// window is hit; nullopt after `attempts` misses (rare; callers count these
+/// as skipped items).
+inline std::optional<ImplicitSet> generate_with_retry(const GenParams& params, Rng& rng,
+                                                      int attempts = 200) {
+  for (int a = 0; a < attempts; ++a)
+    if (auto skeleton = generate_task_set(params, rng)) return skeleton;
+  return std::nullopt;
 }
 
 /// How the common overrun-preparation factor x is chosen ("x in all cases is

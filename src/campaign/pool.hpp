@@ -1,0 +1,55 @@
+// Fixed-size worker pool for the campaign engine.
+//
+// Deliberately minimal: a bounded set of workers created once, a FIFO job
+// queue, and a drain barrier. The campaign runner (runner.hpp) layers
+// deterministic work distribution on top; the pool itself knows nothing
+// about RNG streams or result ordering.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rbs::campaign {
+
+/// A fixed-size thread pool. Jobs are plain closures; submit() never blocks
+/// (the queue is unbounded), wait_idle() blocks until every submitted job has
+/// finished. Thread-safe: submit() may be called from any thread, including
+/// from inside a running job.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one job. Jobs must not throw (wrap and capture exceptions on
+  /// the caller's side; the runner does exactly that).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and no job is executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< signalled when work arrives / on stop
+  std::condition_variable idle_cv_;  ///< signalled when the pool may be idle
+  std::size_t in_flight_ = 0;        ///< jobs currently executing
+  bool stop_ = false;
+};
+
+}  // namespace rbs::campaign

@@ -1,0 +1,84 @@
+#include "campaign/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace rbs::campaign {
+
+std::uint64_t item_seed(std::uint64_t campaign_seed, std::uint64_t index) {
+  // SplitMix64 (Steele, Lea & Flood) over the campaign seed offset by the
+  // item index; the golden-ratio stride keeps neighbouring items' inputs far
+  // apart in the hash space.
+  std::uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+CampaignRunner::CampaignRunner(const CampaignOptions& options) : options_(options) {
+  jobs_ = options.jobs;
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;  // the lookup may legitimately fail
+  }
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+CampaignRunner::~CampaignRunner() = default;
+
+void CampaignRunner::for_each(std::size_t count,
+                              const std::function<void(std::size_t, Rng&)>& fn) const {
+  if (count == 0) return;
+
+  if (!pool_) {  // jobs == 1: the serial baseline, no pool involved at all
+    for (std::size_t i = 0; i < count; ++i) {
+      Rng rng(item_seed(options_.seed, i));
+      fn(i, rng);
+    }
+    return;
+  }
+
+  struct Drain {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr first_error;
+  } drain;
+
+  const std::uint64_t seed = options_.seed;
+  const auto worker = [&drain, &fn, seed, count] {
+    for (;;) {
+      const std::size_t i = drain.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        Rng rng(item_seed(seed, i));
+        fn(i, rng);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(drain.error_mutex);
+        if (i < drain.first_error_index) {
+          drain.first_error_index = i;
+          drain.first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  for (unsigned w = 0; w < jobs_; ++w) pool_->submit(worker);
+  pool_->wait_idle();
+  if (drain.first_error) std::rethrow_exception(drain.first_error);
+}
+
+std::vector<Expected<AnalysisReport>> CampaignRunner::analyze_all(
+    const std::vector<AnalysisRequest>& requests) const {
+  std::vector<Expected<AnalysisReport>> reports(
+      requests.size(), Expected<AnalysisReport>(Status::error("not analyzed")));
+  const Analyzer analyzer;
+  for_each(requests.size(), [&reports, &requests, &analyzer](std::size_t i, Rng&) {
+    reports[i] = analyzer.analyze(requests[i]);
+  });
+  return reports;
+}
+
+}  // namespace rbs::campaign

@@ -1,0 +1,83 @@
+// Parallel campaign engine: map analyze() (or any per-item job) over N
+// campaign items with results gathered in deterministic input order.
+//
+// Determinism contract: the output of a campaign depends only on the
+// campaign seed and the item count, never on the worker count -- `--jobs 8`
+// is byte-identical to `--jobs 1`. Two mechanisms enforce this:
+//
+//   * every item draws from its *own* RNG stream, seeded as
+//     item_seed(campaign_seed, index) -- a worker never advances another
+//     item's stream, so the schedule cannot leak into the randomness;
+//   * results land in a pre-sized vector slot `index`, so gathering order is
+//     input order regardless of completion order.
+//
+// Thread-safety: Analyzer::analyze() is a pure function of its arguments
+// (the core analysis has no global mutable state), so any number of workers
+// may analyze distinct requests concurrently. One CampaignRunner runs one
+// campaign at a time -- for_each()/map() are not reentrant -- but items
+// within that campaign execute concurrently on the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "campaign/pool.hpp"
+#include "core/analysis.hpp"
+#include "gen/rng.hpp"
+
+namespace rbs::campaign {
+
+struct CampaignOptions {
+  /// Worker threads mapping items; 1 runs inline on the calling thread
+  /// (the serial baseline), 0 asks the hardware for its core count.
+  unsigned jobs = 1;
+  /// Master seed every per-item RNG stream descends from.
+  std::uint64_t seed = 1;
+};
+
+/// The seed of campaign item `index`: a SplitMix64 hash of (seed, index).
+/// Streams of distinct items are statistically independent, and item i's
+/// stream is the same no matter which worker runs it.
+[[nodiscard]] std::uint64_t item_seed(std::uint64_t campaign_seed, std::uint64_t index);
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const CampaignOptions& options = {});
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  /// Resolved worker count (after the jobs == 0 hardware lookup).
+  unsigned jobs() const { return jobs_; }
+  std::uint64_t seed() const { return options_.seed; }
+
+  /// Runs fn(index, rng) for every index in [0, count), distributing items
+  /// over the pool; rng is the item's private stream. Blocks until every
+  /// item finished. If items throw, the exception of the lowest-indexed
+  /// failing item is rethrown (deterministically) after the drain.
+  void for_each(std::size_t count, const std::function<void(std::size_t, Rng&)>& fn) const;
+
+  /// for_each with a result per item, gathered in input order. R must be
+  /// default-constructible and the per-element writes must be independent
+  /// (any R but std::vector<bool>).
+  template <typename R, typename F>
+  [[nodiscard]] std::vector<R> map(std::size_t count, F&& fn) const {
+    std::vector<R> results(count);
+    for_each(count, [&results, &fn](std::size_t i, Rng& rng) { results[i] = fn(i, rng); });
+    return results;
+  }
+
+  /// analyze() mapped over a batch of requests, reports in input order.
+  [[nodiscard]] std::vector<Expected<AnalysisReport>> analyze_all(
+      const std::vector<AnalysisRequest>& requests) const;
+
+ private:
+  CampaignOptions options_;
+  unsigned jobs_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when jobs_ == 1 (inline mode)
+};
+
+}  // namespace rbs::campaign

@@ -1,0 +1,282 @@
+#include "core/analysis.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/adb.hpp"
+#include "core/breakpoints.hpp"
+#include "core/dbf.hpp"
+#include "core/edf.hpp"
+
+namespace rbs {
+
+namespace {
+
+constexpr unsigned kSpeedupMask = 1u;
+constexpr unsigned kResetMask = 2u;
+
+/// State of the Theorem 2 ratio maximisation, advanced one DBF_HI breakpoint
+/// at a time. The update arithmetic mirrors min_speedup() operation for
+/// operation so the fused facade agrees with it bit for bit.
+struct SpeedupSearch {
+  bool active = false;
+  double best = 0.0;
+  Ticks argmax = 0;
+  double u_hi = 0.0;
+  double k = 0.0;
+  Ticks hyperperiod = 1;
+  bool exact = true;
+  double error_bound = 0.0;
+  std::size_t visited = 0;
+
+  void init(const TaskSet& set, double total_u_hi) {
+    if (set.empty()) return;  // s_min = 0, settled
+
+    // Eq. (8) allows Delta = 0: positive demand in a zero-length interval
+    // requires infinite speedup.
+    if (dbf_hi_total(set, 0) > 0) {
+      best = std::numeric_limits<double>::infinity();
+      argmax = 0;
+      return;
+    }
+
+    // The Delta -> inf limit of demand/Delta is the HI-mode utilization.
+    u_hi = total_u_hi;
+    k = static_cast<double>(set.total_hi_wcet());  // DBF_HI <= U*Delta + K
+    best = u_hi;
+
+    // DBF_HI(delta + T(HI)) = DBF_HI(delta) + C(HI) per task, so the total
+    // demand repeats (shifted by U*H) every hyperperiod H = lcm T_i(HI); the
+    // mediant inequality then confines the supremum to (0, H].
+    for (const McTask& t : set) {
+      if (t.dropped_in_hi()) continue;
+      const Ticks period = t.period(Mode::HI);
+      const Ticks gcd = std::gcd(hyperperiod, period);
+      if (hyperperiod / gcd > kInfTicks / period) {
+        hyperperiod = kInfTicks;  // overflow: fall back to the envelope rules
+        break;
+      }
+      hyperperiod = hyperperiod / gcd * period;
+    }
+    active = true;
+  }
+
+  /// Evaluates the ratio at breakpoint `d`; clears `active` once settled.
+  void step(const TaskSet& set, Ticks d, const AnalysisLimits& limits, bool* worked) {
+    if (d == 0) return;  // handled in init()
+    if (d > hyperperiod) {  // supremum settled exactly (see init)
+      active = false;
+      return;
+    }
+    *worked = true;
+    if (++visited > limits.max_breakpoints) {
+      exact = false;
+      error_bound = (u_hi + k / static_cast<double>(d)) - best;
+      active = false;
+      return;
+    }
+    const double delta = static_cast<double>(d);
+    const double ratio_right = static_cast<double>(dbf_hi_total(set, d)) / delta;
+    const double ratio_left = static_cast<double>(dbf_hi_total_left(set, d)) / delta;
+    if (ratio_right > best) {
+      best = ratio_right;
+      argmax = d;
+    }
+    if (ratio_left > best) {
+      best = ratio_left;
+      argmax = d;
+    }
+    // Beyond Delta, demand/Delta <= U + K/Delta; once that envelope drops to
+    // the best ratio seen, the supremum is settled.
+    const double slack = (u_hi + k / delta) - best;
+    if (slack <= 0) {
+      active = false;
+      return;
+    }
+    if (slack <= limits.rel_tol * best) {
+      exact = false;
+      error_bound = slack;
+      active = false;
+    }
+  }
+};
+
+/// State of the Corollary 5 crossing search, advanced one ADB_HI breakpoint
+/// at a time; mirrors resetting_time() exactly (same long double segment
+/// arithmetic, same counting).
+struct ResetSearch {
+  bool active = false;
+  double delta_r = 0.0;
+  bool exact = true;
+  std::size_t visited = 0;
+  long double speed = 1.0L;
+  Ticks prev = 0;
+  long double value_at_prev = 0.0L;
+  bool discard = false;
+
+  void init(const TaskSet& set, double s, double u_hi, const AnalysisLimits& limits) {
+    speed = s;
+    discard = limits.discard_dropped_carryover;
+    if (set.empty()) return;  // Delta_R = 0: nothing ever arrives
+
+    // ADB_HI grows asymptotically at rate U_HI; the supply s*Delta can only
+    // catch up when s > U_HI.
+    if (s <= u_hi) {
+      delta_r = std::numeric_limits<double>::infinity();
+      return;
+    }
+    value_at_prev = static_cast<long double>(adb_hi_total(set, 0, discard));
+    if (value_at_prev <= 0) return;  // all carry-over discarded, no demand
+    active = true;
+  }
+
+  /// Advances over the segment ending at breakpoint `b` (nullopt: the demand
+  /// is constant beyond `prev`); clears `active` once the crossing is found.
+  void step(const TaskSet& set, std::optional<Ticks> b, const AnalysisLimits& limits,
+            bool* worked) {
+    if (b && *b == 0) return;  // the leading 0 breakpoint is consumed for free
+    *worked = true;
+    if (++visited > limits.max_breakpoints) {
+      delta_r = std::numeric_limits<double>::infinity();
+      exact = false;
+      active = false;
+      return;
+    }
+
+    // Condition already met at the segment start?
+    if (value_at_prev <= speed * static_cast<long double>(prev)) {
+      delta_r = static_cast<double>(prev);
+      active = false;
+      return;
+    }
+
+    if (!b) {
+      // No further breakpoints: demand is constant beyond `prev` (possible
+      // when every task is dropped). The supply line crosses at value / s.
+      delta_r = static_cast<double>(value_at_prev / speed);
+      active = false;
+      return;
+    }
+
+    const long double left_limit = static_cast<long double>(adb_hi_total_left(set, *b, discard));
+    const long double slope = (left_limit - value_at_prev) / static_cast<long double>(*b - prev);
+
+    // Crossing inside (prev, b): value_at_prev + slope*(Delta - prev) = s*Delta.
+    if (speed > slope) {
+      const long double crossing =
+          (value_at_prev - slope * static_cast<long double>(prev)) / (speed - slope);
+      if (crossing >= static_cast<long double>(prev) && crossing < static_cast<long double>(*b)) {
+        delta_r = static_cast<double>(crossing);
+        active = false;
+        return;
+      }
+    }
+
+    value_at_prev = static_cast<long double>(adb_hi_total(set, *b, discard));
+    prev = *b;
+  }
+};
+
+Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed, double lo_speed,
+                                      const AnalysisParts& parts, const AnalysisLimits& limits) {
+  if (parts.reset && (!std::isfinite(speed) || speed <= 0.0))
+    return Status::error("analyze: Delta_R needs a positive, finite speed, got " +
+                         std::to_string(speed));
+  if (parts.lo && (!std::isfinite(lo_speed) || lo_speed <= 0.0))
+    return Status::error("analyze: lo_speed must be positive and finite, got " +
+                         std::to_string(lo_speed));
+  if (limits.max_breakpoints == 0)
+    return Status::error("analyze: max_breakpoints must be positive");
+  if (!(limits.rel_tol >= 0.0) || !std::isfinite(limits.rel_tol))
+    return Status::error("analyze: rel_tol must be finite and non-negative");
+
+  AnalysisReport report;
+  report.speed = speed;
+  report.u_lo = set.total_utilization(Mode::LO);
+  report.u_hi = set.total_utilization(Mode::HI);
+
+  if (parts.lo) {
+    EdfTestOptions options;
+    options.speed = lo_speed;
+    options.max_breakpoints = limits.max_breakpoints;
+    const EdfTestResult lo = lo_mode_test(set, options);
+    report.lo_schedulable = lo.schedulable;
+    report.lo_breakpoints = lo.breakpoints_visited;
+  }
+
+  SpeedupSearch speedup;
+  ResetSearch reset;
+  if (parts.speedup) speedup.init(set, report.u_hi);
+  if (parts.reset) reset.init(set, speed, report.u_hi, limits);
+
+  // --- the fused sweep -----------------------------------------------------
+  // One merged walk over both breakpoint families. Sequences are tagged with
+  // the consumer they serve; a tick evaluates only the consumers that are
+  // both tagged on it and still searching, so a settled consumer costs
+  // nothing and shared ticks are fetched from the heap once.
+  if (speedup.active || reset.active) {
+    std::vector<TaggedSeq> seqs;
+    if (speedup.active)
+      for (const McTask& t : set)
+        for (const ArithSeq& s : dbf_hi_breakpoints(t)) seqs.push_back({s, kSpeedupMask});
+    if (reset.active)
+      for (const McTask& t : set)
+        for (const ArithSeq& s : adb_hi_breakpoints(t)) seqs.push_back({s, kResetMask});
+    TaggedBreakpointMerger merger(seqs);
+
+    while (speedup.active || reset.active) {
+      const auto point = merger.next();
+      if (!point) break;
+      bool worked = false;
+      if (speedup.active && (point->mask & kSpeedupMask) != 0)
+        speedup.step(set, point->tick, limits, &worked);
+      if (reset.active && (point->mask & kResetMask) != 0)
+        reset.step(set, point->tick, limits, &worked);
+      if (worked) ++report.fused_breakpoints;
+    }
+    // Merger exhausted with the crossing still open: the demand is constant
+    // past the last breakpoint (the separate walk's `!next` tail step).
+    if (reset.active) {
+      bool worked = false;
+      reset.step(set, std::nullopt, limits, &worked);
+      if (worked) ++report.fused_breakpoints;
+    }
+  }
+
+  if (parts.speedup) {
+    report.s_min = speedup.best;
+    report.s_min_exact = speedup.exact;
+    report.s_min_error_bound = speedup.error_bound;
+    report.s_min_argmax = speedup.argmax;
+    report.speedup_breakpoints = speedup.visited;
+    report.hi_schedulable =
+        speedup.exact ? report.s_min <= speed : report.s_min + speedup.error_bound <= speed;
+  }
+  if (parts.reset) {
+    report.delta_r = reset.delta_r;
+    report.delta_r_exact = reset.exact;
+    report.reset_breakpoints = reset.visited;
+  }
+  report.system_schedulable = report.lo_schedulable && report.hi_schedulable;
+  return report;
+}
+
+}  // namespace
+
+Expected<AnalysisReport> Analyzer::analyze(const AnalysisRequest& request) const {
+  return analyze_impl(request.set, request.speed, request.lo_speed, request.parts,
+                      request.limits);
+}
+
+Expected<AnalysisReport> Analyzer::analyze(const TaskSet& set, double speed,
+                                           const AnalysisParts& parts) const {
+  return analyze_impl(set, speed, 1.0, parts, limits_);
+}
+
+Expected<AnalysisReport> analyze(const AnalysisRequest& request) {
+  return Analyzer().analyze(request);
+}
+
+}  // namespace rbs

@@ -1,0 +1,134 @@
+// Unified analysis facade (the library's primary entry point).
+//
+// One call answers the questions the paper's Sections III-IV pose about a
+// task set: the minimum HI-mode speedup s_min (Theorem 2), the resetting
+// time Delta_R at a given speed (Corollary 5), and the LO/HI/system
+// schedulability verdicts -- in a single `AnalysisReport`, computed with a
+// *fused* breakpoint sweep. DBF_HI and ADB_HI share their arithmetic
+// breakpoint families (window starts, ramp starts, ramp saturations), so one
+// TaggedBreakpointMerger walk serves both the Theorem 2 ratio maximisation
+// and the Corollary 5 crossing search; ticks shared by both families are
+// fetched from the heap once instead of twice, and a settled sub-analysis
+// skips foreign ticks for free. The fused sweep therefore never visits more
+// breakpoints than the two independent walks it replaces, and its results
+// agree with `min_speedup` / `resetting_time` bit for bit (enforced by
+// tests/core/analysis_test.cpp).
+//
+// The legacy one-shot helpers (`min_speedup_value`, `hi_mode_schedulable`,
+// `system_schedulable`, `resetting_time_value`) are thin inline wrappers over
+// this facade; batched/parallel evaluation over many task sets goes through
+// campaign/runner.hpp, which maps `analyze()` on a thread pool.
+#pragma once
+
+#include <cstddef>
+
+#include "core/task.hpp"
+#include "support/status.hpp"
+#include "support/tolerance.hpp"
+
+namespace rbs {
+
+/// The resource/precision knobs shared by every sub-analysis; folds the
+/// duplicated `max_breakpoints` / `rel_tol` fields of the retired
+/// per-algorithm option structs into one place.
+struct AnalysisLimits {
+  /// Hard cap on examined breakpoints, applied to each sub-analysis
+  /// independently; exceeded only by adversarial inputs.
+  std::size_t max_breakpoints = 20'000'000;
+  /// Secondary stopping rule of the speedup search: stop once the remaining
+  /// uncertainty (U + K/Delta) - best drops below rel_tol * best and report
+  /// the residual via `s_min_error_bound` (the exact rule cannot fire when
+  /// the supremum *equals* the utilization limit).
+  double rel_tol = kSpeedTol.relative;
+  /// Model a runtime that aborts the carry-over job of a terminated LO task
+  /// at the mode switch (ablation; the paper's Eq. 10 corresponds to false).
+  /// Affects only the Delta_R sub-analysis.
+  bool discard_dropped_carryover = false;
+};
+
+/// Which sub-analyses to run. Verdict fields of sub-analyses that were not
+/// requested keep their (conservative) defaults.
+struct AnalysisParts {
+  bool speedup = true;  ///< s_min (Theorem 2) + the HI-mode verdict
+  bool reset = true;    ///< Delta_R at `speed` (Corollary 5)
+  bool lo = true;       ///< LO-mode processor-demand test at `lo_speed`
+};
+
+/// One self-contained unit of analysis work: the set, the speeds to certify,
+/// the sub-analyses wanted, and the limits to run them under. Requests own
+/// their task set so a campaign can ship them to worker threads wholesale.
+struct AnalysisRequest {
+  TaskSet set;
+  double speed = 1.0;     ///< HI-mode speedup factor s for Delta_R / verdicts
+  double lo_speed = 1.0;  ///< LO-mode processor speed (1.0 in the paper)
+  AnalysisParts parts;
+  AnalysisLimits limits;
+};
+
+/// Everything the fused sweep learns about one task set.
+struct AnalysisReport {
+  // --- Theorem 2 (parts.speedup) -------------------------------------------
+  /// Minimum HI-mode speedup (Eq. 8); +inf when Delta=0 demand is positive.
+  double s_min = 0.0;
+  /// True when the stopping rule proved s_min optimal.
+  bool s_min_exact = true;
+  /// When !s_min_exact: the true s_min lies in [s_min, s_min + error bound].
+  double s_min_error_bound = 0.0;
+  /// Interval length attaining the supremum (0 when the Delta->inf limit,
+  /// i.e. the HI-mode utilization, dominates).
+  Ticks s_min_argmax = 0;
+
+  // --- Corollary 5 at `speed` (parts.reset) --------------------------------
+  /// Delta_R in ticks; +inf when speed <= U_HI or the budget was exhausted.
+  double delta_r = 0.0;
+  /// False only when max_breakpoints was exhausted (delta_r then +inf).
+  bool delta_r_exact = true;
+
+  // --- verdicts ------------------------------------------------------------
+  bool lo_schedulable = false;      ///< LO mode at lo_speed (parts.lo)
+  bool hi_schedulable = false;      ///< HI mode at `speed`  (parts.speedup)
+  bool system_schedulable = false;  ///< both of the above
+
+  // --- context + work counters ---------------------------------------------
+  double speed = 1.0;  ///< the speed the report was computed for
+  double u_lo = 0.0;   ///< total LO-mode utilization
+  double u_hi = 0.0;   ///< total HI-mode utilization
+  /// Breakpoints charged to the Theorem 2 / Corollary 5 sub-analyses (the
+  /// numbers the independent walks would report).
+  std::size_t speedup_breakpoints = 0;
+  std::size_t reset_breakpoints = 0;
+  /// Distinct merged ticks the fused sweep actually evaluated; always
+  /// <= speedup_breakpoints + reset_breakpoints (shared ticks count once).
+  std::size_t fused_breakpoints = 0;
+  /// Breakpoints visited by the LO-mode demand test.
+  std::size_t lo_breakpoints = 0;
+};
+
+/// The facade. Stateless apart from default limits, hence freely shareable:
+/// `analyze()` is a pure function of its arguments and may be called from any
+/// number of threads concurrently (the campaign engine relies on this).
+class Analyzer {
+ public:
+  Analyzer() = default;
+  explicit Analyzer(AnalysisLimits limits) : limits_(limits) {}
+
+  /// Runs the requested sub-analyses under `request.limits`. Errors (rather
+  /// than asserting or silently coercing) on a non-positive or non-finite
+  /// speed and on degenerate limits.
+  [[nodiscard]] Expected<AnalysisReport> analyze(const AnalysisRequest& request) const;
+
+  /// Convenience overload borrowing `set` (no copy) and using the analyzer's
+  /// default limits.
+  [[nodiscard]] Expected<AnalysisReport> analyze(const TaskSet& set, double speed = 1.0,
+                                                 const AnalysisParts& parts = {}) const;
+
+  const AnalysisLimits& limits() const { return limits_; }
+
+ private:
+  AnalysisLimits limits_;
+};
+
+/// Free-function form of the facade for one-off calls.
+[[nodiscard]] Expected<AnalysisReport> analyze(const AnalysisRequest& request);
+
+}  // namespace rbs

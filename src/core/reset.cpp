@@ -77,8 +77,4 @@ ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& opt
   }
 }
 
-double resetting_time_value(const TaskSet& set, double s) {
-  return resetting_time(set, s).delta_r;
-}
-
 }  // namespace rbs

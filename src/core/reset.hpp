@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "core/analysis.hpp"
 #include "core/task.hpp"
 
 namespace rbs {
@@ -40,7 +41,15 @@ struct ResetResult {
 /// Computes Delta_R per Corollary 5 for HI-mode speedup factor `s` (> 0).
 [[nodiscard]] ResetResult resetting_time(const TaskSet& set, double s, const ResetOptions& options = {});
 
-/// Convenience wrapper returning only the bound (ticks).
-[[nodiscard]] double resetting_time_value(const TaskSet& set, double s);
+/// Convenience wrapper returning only the bound (ticks); a thin layer over
+/// the unified Analyzer facade (core/analysis.hpp). Prefer analyze() when
+/// s_min or the verdicts of the same set are also needed -- the facade
+/// computes everything in one fused breakpoint sweep.
+[[nodiscard]] inline double resetting_time_value(const TaskSet& set, double s) {
+  return Analyzer()
+      .analyze(set, s, {.speedup = false, .reset = true, .lo = false})
+      .value()
+      .delta_r;
+}
 
 }  // namespace rbs

@@ -84,15 +84,4 @@ SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options) {
   return result;
 }
 
-double min_speedup_value(const TaskSet& set) { return min_speedup(set).s_min; }
-
-bool hi_mode_schedulable(const TaskSet& set, double s) {
-  const SpeedupResult r = min_speedup(set);
-  return r.exact ? r.s_min <= s : r.s_min + r.error_bound <= s;
-}
-
-bool system_schedulable(const TaskSet& set, double s) {
-  return lo_mode_schedulable(set) && hi_mode_schedulable(set, s);
-}
-
 }  // namespace rbs

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 
+#include "core/analysis.hpp"
 #include "core/task.hpp"
 #include "support/tolerance.hpp"
 
@@ -51,14 +52,34 @@ struct SpeedupResult {
 /// Computes s_min per Theorem 2.
 [[nodiscard]] SpeedupResult min_speedup(const TaskSet& set, const SpeedupOptions& options = {});
 
+// The one-shot helpers below are thin wrappers over the unified Analyzer
+// facade (core/analysis.hpp); prefer analyze() directly when more than one
+// quantity of the same set is needed -- the facade computes them all in one
+// fused breakpoint sweep.
+
 /// Convenience wrapper returning only the factor.
-[[nodiscard]] double min_speedup_value(const TaskSet& set);
+[[nodiscard]] inline double min_speedup_value(const TaskSet& set) {
+  return Analyzer()
+      .analyze(set, 1.0, {.speedup = true, .reset = false, .lo = false})
+      .value()
+      .s_min;
+}
 
 /// True iff HI mode is schedulable at speedup factor `s` (i.e. s >= s_min).
-[[nodiscard]] bool hi_mode_schedulable(const TaskSet& set, double s);
+[[nodiscard]] inline bool hi_mode_schedulable(const TaskSet& set, double s) {
+  return Analyzer()
+      .analyze(set, s, {.speedup = true, .reset = false, .lo = false})
+      .value()
+      .hi_schedulable;
+}
 
 /// Full mixed-criticality schedulability: LO mode schedulable at unit speed
 /// and HI mode schedulable at speedup `s`.
-[[nodiscard]] bool system_schedulable(const TaskSet& set, double s);
+[[nodiscard]] inline bool system_schedulable(const TaskSet& set, double s) {
+  return Analyzer()
+      .analyze(set, s, {.speedup = true, .reset = false, .lo = true})
+      .value()
+      .system_schedulable;
+}
 
 }  // namespace rbs

@@ -4,18 +4,23 @@
 // "Run and Be Safe: Mixed-Criticality Scheduling with Temporary Processor
 // Speedup", DATE 2015.
 //
-// Typical use:
+// Typical use -- one analyze() call per task set (docs/api.md):
 //
 //   rbs::TaskSet set({
 //       rbs::McTask::hi("control", /*c_lo=*/2, /*c_hi=*/4, /*d_lo=*/5,
 //                       /*deadline=*/10, /*period=*/10),
 //       rbs::McTask::lo("logging", /*c=*/3, /*deadline=*/12, /*period=*/12),
 //   });
-//   double s_min   = rbs::min_speedup_value(set);          // Theorem 2
-//   double delta_r = rbs::resetting_time_value(set, 2.0);  // Corollary 5
+//   const auto report = rbs::Analyzer().analyze(set, /*speed=*/2.0);
+//   report.value().s_min;                // Theorem 2
+//   report.value().delta_r;              // Corollary 5 at speed 2
+//   report.value().system_schedulable;   // LO @ unit speed && HI @ speed 2
+//
+// Batched/parallel campaigns over many sets: campaign/runner.hpp.
 #pragma once
 
 #include "core/adb.hpp"
+#include "core/analysis.hpp"
 #include "core/amc.hpp"
 #include "core/budget.hpp"
 #include "core/closed_form.hpp"

@@ -28,6 +28,11 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+void CsvWriter::write_raw_line(const std::string& line) {
+  if (!out_) return;
+  out_ << line << '\n';
+}
+
 void CsvWriter::write_row_numeric(const std::vector<double>& values) {
   if (!out_) return;
   std::ostringstream line;

@@ -23,6 +23,10 @@ class CsvWriter {
   /// Convenience: doubles are written with max_digits10 precision.
   void write_row_numeric(const std::vector<double>& values);
 
+  /// Writes a pre-formatted line verbatim (the caller guarantees the cells
+  /// are already escaped; used for byte-identity-checked campaign rows).
+  void write_raw_line(const std::string& line);
+
  private:
   std::ofstream out_;
 };

@@ -1,0 +1,152 @@
+// Tests for the parallel campaign engine (campaign/{pool,runner}.hpp): the
+// determinism contract (--jobs N output is byte-identical to --jobs 1), the
+// per-item RNG stream derivation, result gathering in input order, and the
+// deterministic lowest-index exception rethrow.
+#include "campaign/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/pool.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs::campaign {
+namespace {
+
+TEST(ItemSeedTest, DeterministicAndPerItem) {
+  EXPECT_EQ(item_seed(1, 0), item_seed(1, 0));
+  EXPECT_NE(item_seed(1, 0), item_seed(1, 1));
+  EXPECT_NE(item_seed(1, 0), item_seed(2, 0));
+  // Neighbouring items and seeds must not collide over a modest range.
+  for (std::uint64_t i = 0; i < 64; ++i)
+    for (std::uint64_t j = i + 1; j < 64; ++j) EXPECT_NE(item_seed(7, i), item_seed(7, j));
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 10 * (round + 1));
+  }
+}
+
+TEST(CampaignRunnerTest, SerialRunnerNeedsNoPool) {
+  CampaignOptions options;
+  options.jobs = 1;
+  const CampaignRunner runner(options);
+  EXPECT_EQ(runner.jobs(), 1u);
+}
+
+TEST(CampaignRunnerTest, JobsZeroResolvesToHardware) {
+  CampaignOptions options;
+  options.jobs = 0;
+  const CampaignRunner runner(options);
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+TEST(CampaignRunnerTest, MapGathersInInputOrder) {
+  CampaignOptions options;
+  options.jobs = 8;
+  const CampaignRunner runner(options);
+  const std::vector<std::size_t> indices =
+      runner.map<std::size_t>(257, [](std::size_t i, Rng&) { return i; });
+  ASSERT_EQ(indices.size(), 257u);
+  for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+}
+
+/// The bench_perf campaign workload in miniature: generate a random set from
+/// the item's private stream, run one fused facade sweep, format a row. Any
+/// schedule-dependence (shared RNG state, gather races) shows up as a
+/// byte-level diff between worker counts.
+std::string campaign_row(std::size_t index, const Analyzer& analyzer, Rng& rng) {
+  GenParams params;
+  params.u_bound = 0.5 + 0.1 * static_cast<double>(index % 4);
+  const auto skeleton = generate_task_set(params, rng);
+  if (!skeleton) return std::to_string(index) + ",skipped";
+  const AnalysisReport r =
+      analyzer
+          .analyze(skeleton->materialize(0.5, 2.0), 2.0,
+                   {.speedup = true, .reset = true, .lo = false})
+          .value();
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer, "%zu,%.17g,%.17g,%zu", index, r.s_min, r.delta_r,
+                r.fused_breakpoints);
+  return buffer;
+}
+
+TEST(CampaignRunnerTest, FiveHundredSetCampaignIsWorkerCountInvariant) {
+  constexpr std::size_t kSets = 500;
+  constexpr std::uint64_t kSeed = 42;
+  std::vector<std::vector<std::string>> outputs;
+  for (unsigned jobs : {1u, 8u}) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    options.seed = kSeed;
+    const CampaignRunner runner(options);
+    const Analyzer analyzer;
+    outputs.push_back(runner.map<std::string>(kSets, [&analyzer](std::size_t i, Rng& rng) {
+      return campaign_row(i, analyzer, rng);
+    }));
+  }
+  ASSERT_EQ(outputs[0].size(), kSets);
+  ASSERT_EQ(outputs[1].size(), kSets);
+  for (std::size_t i = 0; i < kSets; ++i) {
+    EXPECT_EQ(outputs[0][i], outputs[1][i]) << "item " << i;
+  }
+}
+
+TEST(CampaignRunnerTest, LowestIndexExceptionWinsDeterministically) {
+  CampaignOptions options;
+  options.jobs = 4;
+  const CampaignRunner runner(options);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      runner.for_each(400, [](std::size_t i, Rng&) {
+        if (i == 42 || i == 137 || i == 399) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected the campaign to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "42");
+    }
+  }
+}
+
+TEST(CampaignRunnerTest, AnalyzeAllKeepsOrderAndErrorSlots) {
+  std::vector<AnalysisRequest> requests;
+  requests.push_back({table1_base(), 2.0, 1.0, {}, {}});
+  requests.push_back({table1_base(), 0.0, 1.0, {}, {}});  // invalid: reset at 0
+  requests.push_back({table1_degraded(), 2.0, 1.0, {}, {}});
+
+  CampaignOptions options;
+  options.jobs = 4;
+  const std::vector<Expected<AnalysisReport>> reports =
+      CampaignRunner(options).analyze_all(requests);
+  ASSERT_EQ(reports.size(), 3u);
+  ASSERT_TRUE(reports[0].is_ok());
+  EXPECT_NEAR(reports[0].value().s_min, 4.0 / 3.0, 1e-12);
+  EXPECT_FALSE(reports[1].is_ok());
+  ASSERT_TRUE(reports[2].is_ok());
+  EXPECT_NEAR(reports[2].value().s_min, 12.0 / 13.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rbs::campaign

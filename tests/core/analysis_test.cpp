@@ -1,0 +1,212 @@
+// Tests for the unified Analyzer facade (core/analysis.hpp): the fused
+// breakpoint sweep must agree *bit for bit* with the independent
+// min_speedup / resetting_time walks it subsumes, across the paper examples,
+// dropped-task sets, randomized sets, and the degenerate corners -- and it
+// must never visit more breakpoints than the two separate walks combined.
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/edf.hpp"
+#include "core/reset.hpp"
+#include "core/speedup.hpp"
+#include "core/tuning.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/rng.hpp"
+#include "gen/taskgen.hpp"
+
+namespace rbs {
+namespace {
+
+constexpr AnalysisParts kFused{.speedup = true, .reset = true, .lo = false};
+
+/// Asserts the fused report of `set` at `speed` matches the two independent
+/// legacy walks exactly (values, exactness flags, work counters).
+void expect_agreement(const TaskSet& set, double speed) {
+  SCOPED_TRACE("speed = " + std::to_string(speed));
+  const AnalysisReport fused = Analyzer().analyze(set, speed, kFused).value();
+  const SpeedupResult speedup = min_speedup(set);
+  const ResetResult reset = resetting_time(set, speed);
+
+  EXPECT_DOUBLE_EQ(fused.s_min, speedup.s_min);
+  EXPECT_EQ(fused.s_min_exact, speedup.exact);
+  EXPECT_DOUBLE_EQ(fused.s_min_error_bound, speedup.error_bound);
+  EXPECT_EQ(fused.s_min_argmax, speedup.argmax);
+  EXPECT_DOUBLE_EQ(fused.delta_r, reset.delta_r);
+  EXPECT_EQ(fused.delta_r_exact, reset.exact);
+
+  // Work accounting: each sub-analysis is charged what its independent walk
+  // would pay, and the merged walk can only save (shared ticks fetched once,
+  // settled consumers skip foreign ticks).
+  EXPECT_EQ(fused.speedup_breakpoints, speedup.breakpoints_visited);
+  EXPECT_EQ(fused.reset_breakpoints, reset.breakpoints_visited);
+  EXPECT_LE(fused.fused_breakpoints,
+            fused.speedup_breakpoints + fused.reset_breakpoints);
+}
+
+TEST(AnalysisFacadeTest, AgreesOnPaperExamples) {
+  for (double speed : {4.0 / 3.0, 1.5, 2.0, 3.0}) {
+    expect_agreement(table1_base(), speed);
+    expect_agreement(table1_degraded(), speed);
+  }
+}
+
+TEST(AnalysisFacadeTest, PaperNumbersComeOutOfOneCall) {
+  // Example 1 (s_min = 4/3) and Example 2 (Delta_R(2) = 6) from one sweep.
+  const AnalysisReport r = Analyzer().analyze(table1_base(), 2.0).value();
+  EXPECT_NEAR(r.s_min, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.delta_r, 6.0, 1e-12);
+  EXPECT_TRUE(r.lo_schedulable);
+  EXPECT_TRUE(r.hi_schedulable);  // 2 >= 4/3
+  EXPECT_TRUE(r.system_schedulable);
+}
+
+TEST(AnalysisFacadeTest, AgreesOnDroppedTaskSets) {
+  // LO tasks terminated at the mode switch (gamma = 10 region sets drop all
+  // LO service); the implicit Table I skeleton gives a small witness.
+  const TaskSet dropped = table1_implicit().materialize_terminating(0.6);
+  for (double speed : {1.2, 2.0}) expect_agreement(dropped, speed);
+
+  const TaskSet all_dropped({McTask::lo_terminated("a", 2, 10, 10),
+                             McTask::lo_terminated("b", 3, 12, 12)});
+  expect_agreement(all_dropped, 1.5);
+}
+
+TEST(AnalysisFacadeTest, AgreesWithDiscardedCarryover) {
+  const TaskSet dropped = table1_implicit().materialize_terminating(0.6);
+  AnalysisLimits limits;
+  limits.discard_dropped_carryover = true;
+  AnalysisRequest request{dropped, 2.0, 1.0, kFused, limits};
+  const AnalysisReport fused = analyze(request).value();
+  ResetOptions options;
+  options.discard_dropped_carryover = true;
+  const ResetResult reset = resetting_time(dropped, 2.0, options);
+  EXPECT_DOUBLE_EQ(fused.delta_r, reset.delta_r);
+  EXPECT_EQ(fused.reset_breakpoints, reset.breakpoints_visited);
+}
+
+TEST(AnalysisFacadeTest, AgreesOnRandomizedSets) {
+  Rng rng(2026);
+  int analyzed = 0;
+  for (int i = 0; i < 200 && analyzed < 40; ++i) {
+    GenParams params;
+    params.u_bound = 0.3 + 0.2 * static_cast<double>(i % 4);
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    const MinXResult mx = min_x_for_lo(*skeleton);
+    if (!mx.feasible) continue;
+    const TaskSet set = skeleton->materialize(mx.x, 2.0);
+    SCOPED_TRACE("set " + std::to_string(i));
+    expect_agreement(set, 1.1);
+    expect_agreement(set, 2.0);
+    ++analyzed;
+  }
+  EXPECT_GE(analyzed, 20);  // the generator must not starve the test
+}
+
+TEST(AnalysisFacadeTest, UnpreparedHiTaskGivesInfiniteSmin) {
+  // D(LO) == D(HI) with C(HI) > C(LO): positive demand at Delta = 0.
+  const TaskSet set({McTask::hi("a", 2, 3, 5, 5, 10)});
+  expect_agreement(set, 2.0);
+  const AnalysisReport r = Analyzer().analyze(set, 2.0, kFused).value();
+  EXPECT_TRUE(std::isinf(r.s_min));
+  EXPECT_FALSE(r.hi_schedulable);  // no finite speed suffices
+  EXPECT_EQ(r.s_min_argmax, 0);
+}
+
+TEST(AnalysisFacadeTest, SpeedBelowUtilizationGivesInfiniteReset) {
+  const TaskSet set = table1_base();
+  const AnalysisReport r = Analyzer().analyze(set, 0.5, kFused).value();
+  EXPECT_GT(r.u_hi, 0.5);  // premise of the corner: s <= U_HI
+  EXPECT_TRUE(std::isinf(r.delta_r));
+  EXPECT_TRUE(r.delta_r_exact);  // a verdict, not a budget failure
+  expect_agreement(set, 0.5);
+}
+
+TEST(AnalysisFacadeTest, EmptySetIsTrivial) {
+  const AnalysisReport r = Analyzer().analyze(TaskSet{}, 2.0).value();
+  EXPECT_DOUBLE_EQ(r.s_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.delta_r, 0.0);
+  EXPECT_TRUE(r.system_schedulable);
+  EXPECT_EQ(r.fused_breakpoints, 0u);
+}
+
+TEST(AnalysisFacadeTest, ExhaustedBudgetMatchesLegacyInexactPath) {
+  AnalysisLimits limits;
+  limits.max_breakpoints = 1;
+  AnalysisRequest request{table1_base(), 2.0, 1.0, kFused, limits};
+  const AnalysisReport fused = analyze(request).value();
+  SpeedupOptions speedup_options;
+  speedup_options.max_breakpoints = 1;
+  const SpeedupResult speedup = min_speedup(table1_base(), speedup_options);
+  ResetOptions reset_options;
+  reset_options.max_breakpoints = 1;
+  const ResetResult reset = resetting_time(table1_base(), 2.0, reset_options);
+  EXPECT_EQ(fused.s_min_exact, speedup.exact);
+  EXPECT_DOUBLE_EQ(fused.s_min, speedup.s_min);
+  EXPECT_DOUBLE_EQ(fused.s_min_error_bound, speedup.error_bound);
+  EXPECT_EQ(fused.delta_r_exact, reset.exact);
+  EXPECT_DOUBLE_EQ(fused.delta_r, reset.delta_r);
+}
+
+TEST(AnalysisFacadeTest, VerdictsMatchLegacyWrappers) {
+  for (const TaskSet& set : {table1_base(), table1_degraded()}) {
+    for (double s : {0.9, 1.0, 4.0 / 3.0, 2.0}) {
+      const AnalysisReport r = Analyzer().analyze(set, s).value();
+      EXPECT_EQ(r.hi_schedulable, hi_mode_schedulable(set, s));
+      EXPECT_EQ(r.lo_schedulable, lo_mode_schedulable(set));
+      EXPECT_EQ(r.system_schedulable, system_schedulable(set, s));
+    }
+  }
+}
+
+TEST(AnalysisFacadeTest, PartsGateTheVerdicts) {
+  // Sub-analyses that were not requested keep conservative defaults.
+  const AnalysisReport r =
+      Analyzer()
+          .analyze(table1_base(), 2.0, {.speedup = false, .reset = true, .lo = false})
+          .value();
+  EXPECT_FALSE(r.hi_schedulable);
+  EXPECT_FALSE(r.lo_schedulable);
+  EXPECT_FALSE(r.system_schedulable);
+  EXPECT_EQ(r.speedup_breakpoints, 0u);
+  EXPECT_NEAR(r.delta_r, 6.0, 1e-12);
+}
+
+TEST(AnalysisFacadeTest, RejectsDegenerateRequests) {
+  AnalysisRequest request{table1_base(), 0.0, 1.0, kFused, {}};
+  EXPECT_FALSE(analyze(request).is_ok());  // reset at speed 0
+
+  request.speed = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(analyze(request).is_ok());  // reset at infinite speed
+
+  request.speed = 2.0;
+  request.limits.max_breakpoints = 0;
+  EXPECT_FALSE(analyze(request).is_ok());
+
+  request.limits = {};
+  request.limits.rel_tol = -1.0;
+  EXPECT_FALSE(analyze(request).is_ok());
+
+  request.limits = {};
+  request.lo_speed = 0.0;
+  request.parts = {.speedup = false, .reset = false, .lo = true};
+  EXPECT_FALSE(analyze(request).is_ok());  // LO test at speed 0
+}
+
+TEST(AnalysisFacadeTest, InfiniteSpeedIsFineWithoutReset) {
+  // The verdict-only question "is HI mode schedulable at unbounded speedup"
+  // stays answerable (resilience/partition callers rely on it).
+  const AnalysisReport r =
+      Analyzer()
+          .analyze(table1_base(), std::numeric_limits<double>::infinity(),
+                   {.speedup = true, .reset = false, .lo = false})
+          .value();
+  EXPECT_TRUE(r.hi_schedulable);
+}
+
+}  // namespace
+}  // namespace rbs

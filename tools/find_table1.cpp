@@ -23,6 +23,9 @@ bool approximately(double v, double target, double tol) { return std::fabs(v - t
 }  // namespace
 
 int main() {
+  // Staged facade queries keep the original pruning order: the cheap LO-mode
+  // gate first, then the certificate, then the crossing search.
+  const rbs::Analyzer analyzer;
   int hits = 0;
   for (rbs::Ticks t1 = 2; t1 <= 16; ++t1)
     for (rbs::Ticks d1_hi = 2; d1_hi <= t1; ++d1_hi)
@@ -37,18 +40,27 @@ int main() {
                       rbs::McTask::hi("tau1", c1_lo, c1_hi, d1_lo, d1_hi, t1);
                   const rbs::TaskSet base(
                       {tau1, rbs::McTask::lo("tau2", c2, d2, t2)});
-                  if (!rbs::lo_mode_schedulable(base)) continue;
+                  if (!analyzer
+                           .analyze(base, 1.0, {.speedup = false, .reset = false, .lo = true})
+                           .value()
+                           .lo_schedulable)
+                    continue;
 
-                  const double s_base = rbs::min_speedup_value(base);
-                  if (!rbs::approx_eq(s_base, 4.0 / 3.0, rbs::kSpeedTol)) continue;
-
-                  const double dr2 = rbs::resetting_time_value(base, 2.0);
-                  if (!rbs::approx_eq(dr2, 6.0, rbs::kSpeedTol)) continue;
+                  // One fused sweep delivers the certificate and Delta_R(2).
+                  const rbs::AnalysisReport r =
+                      analyzer.analyze(base, 2.0, {.speedup = true, .reset = true, .lo = false})
+                          .value();
+                  if (!rbs::approx_eq(r.s_min, 4.0 / 3.0, rbs::kSpeedTol)) continue;
+                  if (!rbs::approx_eq(r.delta_r, 6.0, rbs::kSpeedTol)) continue;
 
                   const rbs::TaskSet degraded(
                       {tau1, rbs::McTask::lo("tau2", c2, d2, t2, /*hi_deadline=*/15,
                                              /*hi_period=*/20)});
-                  const double s_deg = rbs::min_speedup_value(degraded);
+                  const double s_deg =
+                      analyzer
+                          .analyze(degraded, 1.0, {.speedup = true, .reset = false, .lo = false})
+                          .value()
+                          .s_min;
                   if (!approximately(s_deg, 0.92, 0.006)) continue;
 
                   std::printf(
@@ -58,9 +70,14 @@ int main() {
                       static_cast<long long>(c1_lo), static_cast<long long>(c1_hi),
                       static_cast<long long>(d1_lo), static_cast<long long>(d1_hi),
                       static_cast<long long>(t1), static_cast<long long>(c2),
-                      static_cast<long long>(d2), static_cast<long long>(t2), s_base,
-                      s_deg, rbs::resetting_time_value(base, 4.0 / 3.0),
-                      rbs::resetting_time_value(base, 2.0));
+                      static_cast<long long>(d2), static_cast<long long>(t2), r.s_min,
+                      s_deg,
+                      analyzer
+                          .analyze(base, 4.0 / 3.0,
+                                   {.speedup = false, .reset = true, .lo = false})
+                          .value()
+                          .delta_r,
+                      r.delta_r);
                   if (++hits >= 200) {
                     std::puts("...stopping after 200 hits");
                     return 0;

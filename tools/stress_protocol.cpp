@@ -27,10 +27,9 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis.hpp"
 #include "core/edf.hpp"
 #include "core/resilience.hpp"
-#include "core/reset.hpp"
-#include "core/speedup.hpp"
 #include "core/tuning.hpp"
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
@@ -75,7 +74,13 @@ double worst_achieved_speed(const SimConfig& cfg) {
 WatchdogOptions derive_license(const TaskSet& set, const SimConfig& cfg) {
   WatchdogOptions opts;
   const double achieved = worst_achieved_speed(cfg);
-  opts.license.hi_mode_misses = !rbs::hi_mode_schedulable(set, achieved);
+  // One fused facade sweep: the Theorem 2 verdict at the achieved speed plus
+  // the Corollary 5 dwell bound, should the license end up needing it.
+  const rbs::AnalysisReport report =
+      rbs::Analyzer()
+          .analyze(set, achieved, {.speedup = true, .reset = true, .lo = false})
+          .value();
+  opts.license.hi_mode_misses = !report.hi_schedulable;
   // Between budget polls an overrun runs undetected in LO mode, voiding the
   // LO-mode test; the latency analyses similarly exclude the engagement gap.
   opts.license.lo_mode_misses = cfg.faults.detection_period > 0.0;
@@ -85,7 +90,7 @@ WatchdogOptions derive_license(const TaskSet& set, const SimConfig& cfg) {
   if (latency_free && !opts.license.hi_mode_misses &&
       rbs::approx_zero(cfg.faults.detection_period, rbs::kTimeTol) &&
       rbs::approx_zero(cfg.max_boost_duration, rbs::kTimeTol))
-    opts.delta_r_bound = rbs::resetting_time_value(set, achieved);
+    opts.delta_r_bound = report.delta_r;
   return opts;
 }
 
@@ -249,8 +254,10 @@ int main(int argc, char** argv) {
     const double x = std::min(1.0, mx.x * (1.0 + rng.uniform(0.02, 0.6)));
     const double y = rng.uniform(1.05, 2.5);
     const TaskSet set = skeleton->materialize(x, y);
-    const double s_min = rbs::min_speedup_value(set);
-    if (!std::isfinite(s_min) || !rbs::lo_mode_schedulable(set)) continue;
+    const rbs::AnalysisReport set_report =
+        rbs::Analyzer().analyze(set, 1.0, {.speedup = true, .reset = false, .lo = true}).value();
+    const double s_min = set_report.s_min;
+    if (!std::isfinite(s_min) || !set_report.lo_schedulable) continue;
 
     SimConfig base;
     base.horizon = horizon.value();
