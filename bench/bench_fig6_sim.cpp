@@ -22,8 +22,14 @@
 // facade via campaign::CampaignRunner: each item owns a private RNG stream
 // derived from --seed, so --jobs 8 output is byte-identical to --jobs 1.
 //
+// Fault tolerance (campaign/supervisor.hpp): `--checkpoint <path>` journals
+// every finished item so a killed run resumes with `--resume` and reproduces
+// the uninterrupted output byte for byte; `--item-deadline S` / `--retries N`
+// arm the watchdog and the quarantine policy.
+//
 //   bench_fig6_sim [--sets 200] [--seed 1] [--jobs N] [--x-policy util|exact]
-//                  [--csv <dir>]
+//                  [--csv <dir>] [--checkpoint <path> [--resume]]
+//                  [--item-deadline S] [--retries N]
 #include "common.hpp"
 
 #include <array>
@@ -45,6 +51,32 @@ struct Fig6Item {
   std::array<double, kYs.size()> s_min{};                         ///< per y
   std::array<std::array<double, kSpeeds.size()>, kYs.size()> delta_r{};  ///< per (y, s)
 };
+
+/// Journal payload codec: 2 status flags + 3 s_min + 3x2 Delta_R doubles.
+/// Both the fresh and the resumed path round-trip items through this string
+/// form, so the aggregated output never depends on which path produced a row.
+constexpr std::size_t kFig6Fields = 2 + kYs.size() + kYs.size() * kSpeeds.size();
+
+std::string encode_item(const Fig6Item& item) {
+  std::vector<double> fields{item.generated ? 1.0 : 0.0, item.feasible ? 1.0 : 0.0};
+  for (double s : item.s_min) fields.push_back(s);
+  for (const auto& per_y : item.delta_r)
+    for (double d : per_y) fields.push_back(d);
+  return rbs::bench::encode_fields(fields);
+}
+
+std::optional<Fig6Item> decode_item(const std::string& payload) {
+  const auto fields = rbs::bench::decode_fields(payload, kFig6Fields);
+  if (!fields) return std::nullopt;
+  Fig6Item item;
+  std::size_t at = 0;
+  item.generated = rbs::bench::decode_flag((*fields)[at++]);
+  item.feasible = rbs::bench::decode_flag((*fields)[at++]);
+  for (double& s : item.s_min) s = (*fields)[at++];
+  for (auto& per_y : item.delta_r)
+    for (double& d : per_y) d = (*fields)[at++];
+  return item;
+}
 
 std::string box_row_label(double u) { return rbs::TextTable::num(u, 1); }
 
@@ -70,22 +102,26 @@ int main(int argc, char** argv) {
                     std::to_string(campaign_options.jobs) + " job(s)).");
 
   // One campaign item per (U_bound, set index); gathered in input order, so
-  // the aggregation below is independent of the worker count.
-  const campaign::CampaignRunner runner(campaign_options);
+  // the aggregation below is independent of the worker count. The supervisor
+  // journals each item's encoded row when --checkpoint is given.
+  const bench::CheckpointConfig checkpoint = bench::parse_checkpoint(args);
   const Analyzer analyzer;
   const std::size_t n_items = kUBounds.size() * static_cast<std::size_t>(sets_per_point);
-  const std::vector<Fig6Item> items = runner.map<Fig6Item>(
-      n_items, [&analyzer, sets_per_point, x_policy](std::size_t index, Rng& rng) {
+  const campaign::CampaignReport report = bench::run_checkpointed(
+      checkpoint, "fig6", campaign_options, n_items,
+      [&analyzer, sets_per_point, x_policy](std::size_t index, Rng& rng,
+                                            const campaign::CancelToken& token) {
         Fig6Item item;
         GenParams params;
         params.u_bound = kUBounds[index / static_cast<std::size_t>(sets_per_point)];
         const auto skeleton = bench::generate_with_retry(params, rng);
-        if (!skeleton) return item;
+        if (!skeleton) return encode_item(item);
         item.generated = true;
         const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
-        if (!x_min) return item;
+        if (!x_min) return encode_item(item);
         item.feasible = true;
         for (std::size_t yi = 0; yi < kYs.size(); ++yi) {
+          token.throw_if_cancelled();
           const TaskSet set = skeleton->materialize(*x_min, kYs[yi]);
           // One fused sweep yields s_min and Delta_R at the first speed; the
           // remaining speeds only need the crossing search.
@@ -100,8 +136,9 @@ int main(int argc, char** argv) {
                     .value()
                     .delta_r;
         }
-        return item;
+        return encode_item(item);
       });
+  const std::vector<Fig6Item> items = bench::gather_items<Fig6Item>(report, decode_item);
 
   // samples[u] -> s_min list (y = 2); reset[u] -> Delta_R list (y = 2, s = 3)
   std::map<double, std::vector<double>> smin_by_u;

@@ -22,8 +22,15 @@
 // together -- and gathers results in input order, so --jobs N output is
 // byte-identical to the serial run.
 //
+// Fault tolerance (campaign/supervisor.hpp): `--checkpoint <path>` journals
+// every finished item so a killed run resumes with `--resume` and reproduces
+// the uninterrupted output byte for byte; `--item-deadline S` / `--retries N`
+// arm the watchdog and the quarantine policy.
+//
 //   bench_fig7_region [--sets 30] [--step 0.1] [--seed 1] [--jobs N]
 //                     [--x-policy util|exact] [--csv <dir>]
+//                     [--checkpoint <path> [--resume]] [--item-deadline S]
+//                     [--retries N]
 #include "common.hpp"
 
 #include <cmath>
@@ -40,6 +47,24 @@ struct Fig7Item {
   bool plain_ok = false;   ///< s_min <= 1 (no speedup needed)
   bool speedup_ok = false; ///< s_min <= 2 and Delta_R(2) <= 5 s
 };
+
+/// Journal payload codec (see bench/common.hpp): four 0/1 flags. Fresh and
+/// resumed items both round-trip through this form.
+std::string encode_item(const Fig7Item& item) {
+  return rbs::bench::encode_fields({item.generated ? 1.0 : 0.0, item.vd_ok ? 1.0 : 0.0,
+                                    item.plain_ok ? 1.0 : 0.0, item.speedup_ok ? 1.0 : 0.0});
+}
+
+std::optional<Fig7Item> decode_item(const std::string& payload) {
+  const auto fields = rbs::bench::decode_fields(payload, 4);
+  if (!fields) return std::nullopt;
+  Fig7Item item;
+  item.generated = rbs::bench::decode_flag((*fields)[0]);
+  item.vd_ok = rbs::bench::decode_flag((*fields)[1]);
+  item.plain_ok = rbs::bench::decode_flag((*fields)[2]);
+  item.speedup_ok = rbs::bench::decode_flag((*fields)[3]);
+  return item;
+}
 
 }  // namespace
 
@@ -64,21 +89,24 @@ int main(int argc, char** argv) {
   // One campaign item per (U_HI row, U_LO column, set index).
   const std::size_t per_cell = static_cast<std::size_t>(sets_per_point);
   const std::size_t n_items = grid.size() * grid.size() * per_cell;
-  const campaign::CampaignRunner runner(campaign_options);
+  const bench::CheckpointConfig checkpoint = bench::parse_checkpoint(args);
   const Analyzer analyzer;
-  const std::vector<Fig7Item> items = runner.map<Fig7Item>(
-      n_items, [&grid, &analyzer, per_cell, x_policy](std::size_t index, Rng& rng) {
+  const campaign::CampaignReport campaign_report = bench::run_checkpointed(
+      checkpoint, "fig7", campaign_options, n_items,
+      [&grid, &analyzer, per_cell, x_policy](std::size_t index, Rng& rng,
+                                             const campaign::CancelToken& token) {
         Fig7Item item;
         const std::size_t cell = index / per_cell;
         RegionParams params;
         params.u_hi = grid[cell / grid.size()];
         params.u_lo = grid[cell % grid.size()];
         const auto skeleton = generate_region_set(params, rng);
-        if (!skeleton) return item;  // neighbourhood unreachable; not counted
+        if (!skeleton) return encode_item(item);  // neighbourhood unreachable; not counted
         item.generated = true;
         item.vd_ok = edf_vd_schedulable(*skeleton).schedulable;
         const auto x_min = bench::min_x_under_policy(*skeleton, x_policy);
-        if (!x_min) return item;
+        if (!x_min) return encode_item(item);
+        token.throw_if_cancelled();
         const TaskSet set = skeleton->materialize_terminating(*x_min);
         // One fused breakpoint sweep: the Theorem 2 certificate and the
         // Corollary 5 crossing at s = 2 from a single walk.
@@ -86,8 +114,10 @@ int main(int argc, char** argv) {
             analyzer.analyze(set, 2.0, {.speedup = true, .reset = true, .lo = false}).value();
         item.plain_ok = report.s_min <= 1.0;
         item.speedup_ok = report.s_min <= 2.0 && report.delta_r <= kMaxResetTicks;
-        return item;
+        return encode_item(item);
       });
+  const std::vector<Fig7Item> items =
+      bench::gather_items<Fig7Item>(campaign_report, decode_item);
 
   auto csv = bench::open_csv(args, "fig7.csv");
   if (csv) csv->write_row({"u_hi", "u_lo", "pct_speedup", "pct_nospeedup", "pct_edfvd"});

@@ -14,6 +14,13 @@
 // the worker count) and prints both throughputs. Exit code 1 on any
 // mismatch. `--campaign` is an alias for `--smoke`. This is the `ctest -L
 // campaign` smoke gate; CI also runs it under TSan and ASan.
+//
+// The --jobs N pass runs on the fault-tolerant supervisor
+// (campaign/supervisor.hpp) while the --jobs 1 baseline stays on the plain
+// CampaignRunner, so the byte-compare also cross-checks the two engines.
+// `--checkpoint <path>` / `--resume` journal the supervised pass
+// (`<path>.perf.journal`); `--item-deadline S` / `--retries N` set the
+// fault policy.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -84,19 +91,43 @@ std::vector<std::string> run_campaign(unsigned jobs, std::uint64_t seed, std::si
   return rows;
 }
 
+/// The supervised twin of run_campaign: same items, same per-item streams,
+/// but run through the fault-tolerant engine (journaled when --checkpoint is
+/// given). Items that did not complete yield empty rows, which the
+/// byte-compare then reports.
+std::vector<std::string> run_supervised_campaign(const bench::CheckpointConfig& cfg,
+                                                 const campaign::CampaignOptions& options,
+                                                 std::size_t n_sets, double* elapsed_s) {
+  const Analyzer analyzer;
+  const auto t0 = std::chrono::steady_clock::now();
+  const campaign::CampaignReport report = bench::run_checkpointed(
+      cfg, "perf", options, n_sets,
+      [&analyzer](std::size_t index, Rng& rng, const campaign::CancelToken&) {
+        return campaign_row(index, analyzer, rng);
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (elapsed_s) *elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  std::vector<std::string> rows;
+  rows.reserve(n_sets);
+  for (const campaign::ItemOutcome& item : report.items) rows.push_back(item.payload);
+  return rows;
+}
+
 int run_campaign_mode(const CliArgs& args) {
   const campaign::CampaignOptions options = bench::parse_campaign(args, /*default_seed=*/1);
+  const bench::CheckpointConfig checkpoint = bench::parse_checkpoint(args);
   const auto n_sets = static_cast<std::size_t>(args.get_int("sets", 200));
   campaign::CampaignOptions resolved = options;
   if (resolved.jobs == 0) resolved.jobs = campaign::CampaignRunner(options).jobs();
 
   std::cout << "campaign smoke: " << n_sets << " sets, seed " << options.seed
-            << ", comparing --jobs 1 vs --jobs " << resolved.jobs << "\n";
+            << ", comparing --jobs 1 (runner) vs --jobs " << resolved.jobs
+            << " (supervisor)\n";
 
   double serial_s = 0.0, parallel_s = 0.0;
   const std::vector<std::string> serial = run_campaign(1, options.seed, n_sets, &serial_s);
   const std::vector<std::string> parallel =
-      run_campaign(resolved.jobs, options.seed, n_sets, &parallel_s);
+      run_supervised_campaign(checkpoint, resolved, n_sets, &parallel_s);
 
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < n_sets; ++i) {
@@ -235,8 +266,11 @@ BENCHMARK(BM_CampaignAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::k
 
 /// True for argv entries that belong to campaign mode, not google-benchmark.
 bool is_campaign_flag(const char* arg, bool* eats_value) {
-  static constexpr const char* kValueFlags[] = {"--jobs", "--sets", "--seed", "--csv"};
-  static constexpr const char* kBoolFlags[] = {"--smoke", "--campaign"};
+  static constexpr const char* kValueFlags[] = {"--jobs",       "--sets",
+                                                "--seed",       "--csv",
+                                                "--checkpoint", "--item-deadline",
+                                                "--retries"};
+  static constexpr const char* kBoolFlags[] = {"--smoke", "--campaign", "--resume"};
   *eats_value = false;
   for (const char* flag : kBoolFlags)
     if (std::strcmp(arg, flag) == 0) return true;

@@ -16,7 +16,14 @@
 // replaces the per-(speed, set) recomputation of s_min the serial version
 // did. Results gather in input order: --jobs N output matches --jobs 1.
 //
+// Fault tolerance (campaign/supervisor.hpp): `--checkpoint <path>` keeps one
+// journal per section (`<path>.energy.journal`, `.envelope.`, `.duty.`,
+// `.latency.`); a killed run resumes with `--resume` and reproduces the
+// uninterrupted output byte for byte.
+//
 //   bench_turbo [--sets 40] [--seed 1] [--jobs N]
+//               [--checkpoint <path> [--resume]] [--item-deadline S]
+//               [--retries N]
 #include "common.hpp"
 
 #include <array>
@@ -68,6 +75,85 @@ struct LatencyItem {
   std::array<double, kLatenciesMs.size()> delta_r{};  ///< at s = 2
 };
 
+// ---- journal payload codecs (see bench/common.hpp) ----
+// Every section round-trips its items through these strings, fresh or
+// resumed, so the aggregated output never depends on which path made a row.
+// %.17g keeps doubles bit-exact and prints infinities as "inf" (strtod
+// round-trips both).
+
+std::string encode_energy(const EnergyItem& item) {
+  std::vector<double> f{item.has_set ? 1.0 : 0.0, item.s_min};
+  for (double d : item.delta_r) f.push_back(d);
+  f.push_back(item.level_feasible ? 1.0 : 0.0);
+  f.push_back(item.optimal_speed);
+  return rbs::bench::encode_fields(f);
+}
+
+std::optional<EnergyItem> decode_energy(const std::string& payload) {
+  const auto f = rbs::bench::decode_fields(payload, 4 + kSpeeds.size());
+  if (!f) return std::nullopt;
+  EnergyItem item;
+  std::size_t at = 0;
+  item.has_set = rbs::bench::decode_flag((*f)[at++]);
+  item.s_min = (*f)[at++];
+  for (double& d : item.delta_r) d = (*f)[at++];
+  item.level_feasible = rbs::bench::decode_flag((*f)[at++]);
+  item.optimal_speed = (*f)[at++];
+  return item;
+}
+
+std::string encode_envelope(const EnvelopeItem& item) {
+  return rbs::bench::encode_fields({item.has_set ? 1.0 : 0.0, item.speed_ok ? 1.0 : 0.0,
+                                    item.duration_ok ? 1.0 : 0.0, item.rescued ? 1.0 : 0.0,
+                                    item.admissible ? 1.0 : 0.0});
+}
+
+std::optional<EnvelopeItem> decode_envelope(const std::string& payload) {
+  const auto f = rbs::bench::decode_fields(payload, 5);
+  if (!f) return std::nullopt;
+  EnvelopeItem item;
+  item.has_set = rbs::bench::decode_flag((*f)[0]);
+  item.speed_ok = rbs::bench::decode_flag((*f)[1]);
+  item.duration_ok = rbs::bench::decode_flag((*f)[2]);
+  item.rescued = rbs::bench::decode_flag((*f)[3]);
+  item.admissible = rbs::bench::decode_flag((*f)[4]);
+  return item;
+}
+
+std::string encode_duty(const DutyItem& item) {
+  return rbs::bench::encode_fields({item.counted ? 1.0 : 0.0, item.bound_pct, item.duty_pct,
+                                    item.violated ? 1.0 : 0.0});
+}
+
+std::optional<DutyItem> decode_duty(const std::string& payload) {
+  const auto f = rbs::bench::decode_fields(payload, 4);
+  if (!f) return std::nullopt;
+  DutyItem item;
+  item.counted = rbs::bench::decode_flag((*f)[0]);
+  item.bound_pct = (*f)[1];
+  item.duty_pct = (*f)[2];
+  item.violated = rbs::bench::decode_flag((*f)[3]);
+  return item;
+}
+
+std::string encode_latency(const LatencyItem& item) {
+  std::vector<double> f{item.has_set ? 1.0 : 0.0};
+  for (double s : item.s_min) f.push_back(s);
+  for (double d : item.delta_r) f.push_back(d);
+  return rbs::bench::encode_fields(f);
+}
+
+std::optional<LatencyItem> decode_latency(const std::string& payload) {
+  const auto f = rbs::bench::decode_fields(payload, 1 + 2 * kLatenciesMs.size());
+  if (!f) return std::nullopt;
+  LatencyItem item;
+  std::size_t at = 0;
+  item.has_set = rbs::bench::decode_flag((*f)[at++]);
+  for (double& s : item.s_min) s = (*f)[at++];
+  for (double& d : item.delta_r) d = (*f)[at++];
+  return item;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,6 +161,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const int n_sets = static_cast<int>(args.get_int("sets", 40));
   const campaign::CampaignOptions base_options = bench::parse_campaign(args);
+  const bench::CheckpointConfig checkpoint = bench::parse_checkpoint(args);
   bench::banner("Turbo budget & DVFS energy",
                 "Boost-energy trade-off, envelope admissibility and executed duty\n"
                 "cycles under the burst-separation assumption (" +
@@ -93,36 +180,42 @@ int main(int argc, char** argv) {
   t1.set_header({"level s", "P(s)", "med Delta_R [ms]", "med energy P*dR", "feasible [%]"});
   {
     const FrequencyMenu menu = FrequencyMenu::cubic({1.2, 1.4, 1.6, 1.8, 2.0, 2.4, 3.0});
-    const campaign::CampaignRunner runner(section_options(base_options, 1));
-    const std::vector<EnergyItem> items = runner.map<EnergyItem>(
-        static_cast<std::size_t>(n_sets),
-        [&analyzer, &menu, &params](std::size_t, Rng& rng) {
-          EnergyItem item;
-          const auto skeleton = bench::generate_with_retry(params, rng);
-          if (!skeleton) return item;
-          const auto set = bench::materialize_min_x(*skeleton, 2.0);
-          if (!set) return item;
-          item.has_set = true;
-          // One certificate per set (the serial version recomputed s_min for
-          // every menu level); reset sweeps only where the level suffices.
-          item.s_min =
-              analyzer.analyze(*set, 1.0, {.speedup = true, .reset = false, .lo = false})
-                  .value()
-                  .s_min;
-          for (std::size_t k = 0; k < kSpeeds.size(); ++k)
-            item.delta_r[k] =
-                item.s_min <= kSpeeds[k]
-                    ? analyzer
-                          .analyze(*set, kSpeeds[k],
-                                   {.speedup = false, .reset = true, .lo = false})
-                          .value()
-                          .delta_r
-                    : std::numeric_limits<double>::infinity();
-          const LevelChoice c = energy_optimal_level(*set, menu);
-          item.level_feasible = c.feasible;
-          if (c.feasible) item.optimal_speed = c.level.speed;
-          return item;
-        });
+    const std::vector<EnergyItem> items = bench::gather_items<EnergyItem>(
+        bench::run_checkpointed(
+            checkpoint, "energy", section_options(base_options, 1),
+            static_cast<std::size_t>(n_sets),
+            [&analyzer, &menu, &params](std::size_t, Rng& rng,
+                                        const campaign::CancelToken& token) {
+              EnergyItem item;
+              const auto skeleton = bench::generate_with_retry(params, rng);
+              if (!skeleton) return encode_energy(item);
+              const auto set = bench::materialize_min_x(*skeleton, 2.0);
+              if (!set) return encode_energy(item);
+              item.has_set = true;
+              // One certificate per set (the serial version recomputed s_min
+              // for every menu level); reset sweeps only where the level
+              // suffices.
+              item.s_min =
+                  analyzer.analyze(*set, 1.0, {.speedup = true, .reset = false, .lo = false})
+                      .value()
+                      .s_min;
+              for (std::size_t k = 0; k < kSpeeds.size(); ++k) {
+                token.throw_if_cancelled();
+                item.delta_r[k] =
+                    item.s_min <= kSpeeds[k]
+                        ? analyzer
+                              .analyze(*set, kSpeeds[k],
+                                       {.speedup = false, .reset = true, .lo = false})
+                              .value()
+                              .delta_r
+                        : std::numeric_limits<double>::infinity();
+              }
+              const LevelChoice c = energy_optimal_level(*set, menu);
+              item.level_feasible = c.feasible;
+              if (c.feasible) item.optimal_speed = c.level.speed;
+              return encode_energy(item);
+            }),
+        decode_energy);
 
     std::size_t total_sets = 0;
     for (const EnergyItem& item : items) total_sets += item.has_set;
@@ -166,29 +259,31 @@ int main(int argc, char** argv) {
   t2.set_header({"U_bound", "speed ok [%]", "duration ok [%]", "fallback saves [%]",
                  "admissible [%]"});
   {
-    const campaign::CampaignRunner runner(section_options(base_options, 2));
     const std::size_t per_u = static_cast<std::size_t>(n_sets);
-    const std::vector<EnvelopeItem> items = runner.map<EnvelopeItem>(
-        kUBounds.size() * per_u, [&params, per_u](std::size_t index, Rng& rng) {
-          EnvelopeItem item;
-          GenParams p2 = params;
-          p2.u_bound = kUBounds[index / per_u];
-          const auto skeleton = bench::generate_with_retry(p2, rng);
-          if (!skeleton) return item;
-          const auto set =
-              bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
-          if (!set) return item;
-          item.has_set = true;
-          TurboEnvelope env;
-          env.max_speedup = 1.6;
-          env.max_boost_ticks = 800.0;
-          const TurboReport r = check_turbo_envelope(*set, env);
-          item.speed_ok = r.speed_ok;
-          item.duration_ok = r.duration_ok;
-          item.rescued = !r.duration_ok && r.speed_ok && r.fallback_safe;
-          item.admissible = r.admissible;
-          return item;
-        });
+    const std::vector<EnvelopeItem> items = bench::gather_items<EnvelopeItem>(
+        bench::run_checkpointed(
+            checkpoint, "envelope", section_options(base_options, 2), kUBounds.size() * per_u,
+            [&params, per_u](std::size_t index, Rng& rng, const campaign::CancelToken&) {
+              EnvelopeItem item;
+              GenParams p2 = params;
+              p2.u_bound = kUBounds[index / per_u];
+              const auto skeleton = bench::generate_with_retry(p2, rng);
+              if (!skeleton) return encode_envelope(item);
+              const auto set =
+                  bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
+              if (!set) return encode_envelope(item);
+              item.has_set = true;
+              TurboEnvelope env;
+              env.max_speedup = 1.6;
+              env.max_boost_ticks = 800.0;
+              const TurboReport r = check_turbo_envelope(*set, env);
+              item.speed_ok = r.speed_ok;
+              item.duration_ok = r.duration_ok;
+              item.rescued = !r.duration_ok && r.speed_ok && r.fallback_safe;
+              item.admissible = r.admissible;
+              return encode_envelope(item);
+            }),
+        decode_envelope);
     for (std::size_t ui = 0; ui < kUBounds.size(); ++ui) {
       int total = 0, speed_ok = 0, duration_ok = 0, rescued = 0, admissible = 0;
       for (std::size_t i = 0; i < per_u; ++i) {
@@ -212,40 +307,45 @@ int main(int argc, char** argv) {
   TextTable t3;
   t3.set_header({"T_O [ms]", "analytic bound dR/T_O [%]", "executed duty [%]", "sets"});
   {
-    const campaign::CampaignRunner runner(section_options(base_options, 3));
     const std::size_t per_sep = static_cast<std::size_t>(n_sets / 2);
-    const std::vector<DutyItem> items = runner.map<DutyItem>(
-        kSeparationsMs.size() * per_sep,
-        [&analyzer, &params, per_sep](std::size_t index, Rng& rng) {
-          DutyItem item;
-          const double t_o = kSeparationsMs[index / per_sep] * 10.0;  // ticks
-          const auto skeleton = bench::generate_with_retry(params, rng);
-          if (!skeleton) return item;
-          const auto set = bench::materialize_min_x(*skeleton, 2.0);
-          if (!set) return item;
-          const AnalysisReport report =
-              analyzer.analyze(*set, 2.0, {.speedup = true, .reset = true, .lo = false})
-                  .value();
-          if (report.s_min > 2.0) return item;
-          const double dr = report.delta_r;
-          if (!std::isfinite(dr) || dr > t_o) return item;  // 1/T_O needs dR <= T_O
-          sim::SimConfig cfg;
-          cfg.horizon = 400000.0;  // 40 s
-          cfg.hi_speed = 2.0;
-          cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
-          cfg.min_overrun_separation = t_o;
-          cfg.seed = rng.fork_seed();
-          const sim::SimResult r = sim::simulate(*set, cfg);
-          double boosted = 0.0;
-          for (double d : r.hi_dwell_times) boosted += d;
-          item.counted = true;
-          item.bound_pct = 100.0 * dr / t_o;
-          item.duty_pct = 100.0 * boosted / cfg.horizon;
-          // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
-          item.violated = definitely_gt(item.duty_pct,
-                                        item.bound_pct + 100.0 * dr / cfg.horizon, kTimeTol);
-          return item;
-        });
+    const std::vector<DutyItem> items = bench::gather_items<DutyItem>(
+        bench::run_checkpointed(
+            checkpoint, "duty", section_options(base_options, 3),
+            kSeparationsMs.size() * per_sep,
+            [&analyzer, &params, per_sep](std::size_t index, Rng& rng,
+                                          const campaign::CancelToken& token) {
+              DutyItem item;
+              const double t_o = kSeparationsMs[index / per_sep] * 10.0;  // ticks
+              const auto skeleton = bench::generate_with_retry(params, rng);
+              if (!skeleton) return encode_duty(item);
+              const auto set = bench::materialize_min_x(*skeleton, 2.0);
+              if (!set) return encode_duty(item);
+              const AnalysisReport report =
+                  analyzer.analyze(*set, 2.0, {.speedup = true, .reset = true, .lo = false})
+                      .value();
+              if (report.s_min > 2.0) return encode_duty(item);
+              const double dr = report.delta_r;
+              // 1/T_O needs dR <= T_O
+              if (!std::isfinite(dr) || dr > t_o) return encode_duty(item);
+              token.throw_if_cancelled();
+              sim::SimConfig cfg;
+              cfg.horizon = 400000.0;  // 40 s
+              cfg.hi_speed = 2.0;
+              cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
+              cfg.min_overrun_separation = t_o;
+              cfg.seed = rng.fork_seed();
+              const sim::SimResult r = sim::simulate(*set, cfg);
+              double boosted = 0.0;
+              for (double d : r.hi_dwell_times) boosted += d;
+              item.counted = true;
+              item.bound_pct = 100.0 * dr / t_o;
+              item.duty_pct = 100.0 * boosted / cfg.horizon;
+              // At most floor(horizon/T_O)+1 bursts fit: allow the +1 edge term.
+              item.violated = definitely_gt(
+                  item.duty_pct, item.bound_pct + 100.0 * dr / cfg.horizon, kTimeTol);
+              return encode_duty(item);
+            }),
+        decode_duty);
     for (std::size_t si = 0; si < kSeparationsMs.size(); ++si) {
       std::vector<double> bounds, duties;
       for (std::size_t i = 0; i < per_sep; ++i) {
@@ -274,26 +374,30 @@ int main(int argc, char** argv) {
   {
     GenParams p4 = params;
     p4.u_bound = 0.9;  // heavy sets: the boost (and thus the ramp) matters
-    const campaign::CampaignRunner runner(section_options(base_options, 4));
-    const std::vector<LatencyItem> items = runner.map<LatencyItem>(
-        static_cast<std::size_t>(n_sets), [&p4](std::size_t, Rng& rng) {
-          LatencyItem item;
-          const auto skeleton = bench::generate_with_retry(p4, rng);
-          if (!skeleton) return item;
-          const auto set =
-              bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
-          if (!set) return item;
-          item.has_set = true;
-          for (std::size_t li = 0; li < kLatenciesMs.size(); ++li) {
-            const auto latency = static_cast<Ticks>(kLatenciesMs[li] * 10.0);
-            const LatencySpeedupResult r = min_speedup_with_latency(*set, latency);
-            item.s_min[li] = r.s_min;
-            item.delta_r[li] = std::isfinite(r.s_min)
-                                   ? resetting_time_with_latency(*set, 2.0, latency)
-                                   : std::numeric_limits<double>::infinity();
-          }
-          return item;
-        });
+    const std::vector<LatencyItem> items = bench::gather_items<LatencyItem>(
+        bench::run_checkpointed(
+            checkpoint, "latency", section_options(base_options, 4),
+            static_cast<std::size_t>(n_sets),
+            [&p4](std::size_t, Rng& rng, const campaign::CancelToken& token) {
+              LatencyItem item;
+              const auto skeleton = bench::generate_with_retry(p4, rng);
+              if (!skeleton) return encode_latency(item);
+              const auto set =
+                  bench::materialize_min_x(*skeleton, 2.0, bench::XPolicy::kUtilization);
+              if (!set) return encode_latency(item);
+              item.has_set = true;
+              for (std::size_t li = 0; li < kLatenciesMs.size(); ++li) {
+                token.throw_if_cancelled();
+                const auto latency = static_cast<Ticks>(kLatenciesMs[li] * 10.0);
+                const LatencySpeedupResult r = min_speedup_with_latency(*set, latency);
+                item.s_min[li] = r.s_min;
+                item.delta_r[li] = std::isfinite(r.s_min)
+                                       ? resetting_time_with_latency(*set, 2.0, latency)
+                                       : std::numeric_limits<double>::infinity();
+              }
+              return encode_latency(item);
+            }),
+        decode_latency);
     std::size_t total_sets = 0;
     for (const LatencyItem& item : items) total_sets += item.has_set;
     for (std::size_t li = 0; li < kLatenciesMs.size(); ++li) {

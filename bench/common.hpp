@@ -3,11 +3,18 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <system_error>
+#include <vector>
 
+#include "campaign/journal.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/supervisor.hpp"
 #include "gen/taskgen.hpp"
 #include "rbs.hpp"
 #include "support/cli.hpp"
@@ -52,6 +59,178 @@ inline campaign::CampaignOptions parse_campaign(const CliArgs& args,
   options.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(default_seed)));
   return options;
+}
+
+/// The shared fault-tolerance knobs: `--checkpoint <path>` journals every
+/// finished item attempt, `--resume` folds an existing journal back in,
+/// `--item-deadline S` arms the watchdog, `--retries N` caps attempts.
+struct CheckpointConfig {
+  bool enabled = false;        ///< --checkpoint given
+  std::string path;            ///< journal base path
+  bool resume = false;         ///< --resume given
+  double item_deadline_s = 0;  ///< --item-deadline (seconds; 0 = off)
+  std::uint32_t max_attempts = 3;  ///< --retries
+};
+
+inline CheckpointConfig parse_checkpoint(const CliArgs& args) {
+  CheckpointConfig cfg;
+  cfg.enabled = args.has("checkpoint");
+  cfg.path = args.get_string("checkpoint", "");
+  cfg.resume = args.has("resume");
+  cfg.item_deadline_s = args.get_double("item-deadline", 0.0);
+  cfg.max_attempts = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, args.get_int("retries", 3)));
+  if (cfg.resume && !cfg.enabled) {
+    std::cerr << "error: --resume requires --checkpoint <path>\n";
+    std::exit(2);
+  }
+  return cfg;
+}
+
+/// Encodes a result row as comma-joined %.17g fields -- enough digits that
+/// decode_fields() round-trips every double bit-exactly, so a row replayed
+/// from a journal is byte-identical to a freshly computed one.
+inline std::string encode_fields(const std::vector<double>& values) {
+  std::string out;
+  char buffer[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", values[i]);
+    if (i != 0) out += ',';
+    out += buffer;
+  }
+  return out;
+}
+
+inline std::optional<std::vector<double>> decode_fields(const std::string& payload,
+                                                        std::size_t expected) {
+  std::vector<double> values;
+  const char* cursor = payload.c_str();
+  for (;;) {
+    char* end = nullptr;
+    const double value = std::strtod(cursor, &end);
+    if (end == cursor) return std::nullopt;
+    values.push_back(value);
+    cursor = end;
+    if (*cursor == '\0') break;
+    if (*cursor != ',') return std::nullopt;
+    ++cursor;
+  }
+  if (values.size() != expected) return std::nullopt;
+  return values;
+}
+
+/// Decodes a boolean field encoded as 1.0/0.0 (threshold comparison: the
+/// round-trip is exact, but flags should not be compared with raw `==`).
+inline bool decode_flag(double field) { return field > 0.5; }
+
+/// Runs one named campaign with the full fault-tolerance stack: journal
+/// checkpointing (`<path>.<name>` so multi-campaign binaries keep separate
+/// journals), crash-safe resume, per-item soft deadlines, capped retries and
+/// quarantine, and SIGINT/SIGTERM drain. Exits with kExitResumable when
+/// interrupted (rerun with --resume to finish) and with 1 when a --resume
+/// journal is corrupt or belongs to a different workload.
+inline campaign::CampaignReport run_checkpointed(const CheckpointConfig& cfg,
+                                                 const std::string& name,
+                                                 const campaign::CampaignOptions& options,
+                                                 std::size_t count,
+                                                 const campaign::SupervisedFn& fn) {
+  using campaign::JournalWriter;
+  using campaign::LoadedJournal;
+
+  campaign::SupervisorOptions sup;
+  sup.campaign = options;
+  sup.soft_deadline_s = cfg.item_deadline_s;
+  sup.max_attempts = cfg.max_attempts;
+  sup.stop = campaign::install_stop_handlers();
+
+  const campaign::JournalHeader header{options.seed, count, name};
+  std::optional<LoadedJournal> loaded;
+  std::optional<JournalWriter> journal;
+  if (cfg.enabled) {
+    const std::string path = cfg.path + "." + name + ".journal";
+    bool fresh = !cfg.resume;
+    if (cfg.resume) {
+      std::error_code ec;
+      if (!std::filesystem::exists(path, ec)) {
+        std::cerr << "note: no journal at '" << path << "'; starting fresh\n";
+        fresh = true;
+      } else if (auto loaded_or = campaign::load_journal(path); !loaded_or) {
+        std::cerr << "error: cannot resume from '" << path
+                  << "': " << loaded_or.status().message() << "\n";
+        std::exit(1);
+      } else if (loaded_or.value().header.seed != header.seed ||
+                 loaded_or.value().header.items != header.items ||
+                 loaded_or.value().header.tag != header.tag) {
+        std::cerr << "error: journal '" << path
+                  << "' belongs to a different campaign (seed/items/tag mismatch); "
+                     "rerun without --resume to replace it\n";
+        std::exit(1);
+      } else {
+        loaded = std::move(loaded_or).value();
+        if (loaded->dropped_tail_bytes != 0)
+          std::cerr << "note: dropped " << loaded->dropped_tail_bytes
+                    << " torn-tail byte(s) from '" << path << "'\n";
+        auto writer = JournalWriter::resume(path, *loaded);
+        if (!writer) {
+          std::cerr << "error: cannot reopen journal '" << path
+                    << "': " << writer.status().message() << "\n";
+          std::exit(1);
+        }
+        journal = std::move(writer).value();
+      }
+    }
+    if (fresh) {
+      auto writer = JournalWriter::create(path, header);
+      if (!writer) {
+        std::cerr << "error: cannot create journal '" << path
+                  << "': " << writer.status().message() << "\n";
+        std::exit(1);
+      }
+      journal = std::move(writer).value();
+    }
+    sup.journal = &*journal;
+  }
+
+  const campaign::Supervisor supervisor(sup);
+  const campaign::CampaignReport report =
+      supervisor.run(count, fn, loaded ? &*loaded : nullptr);
+
+  if (!report.journal_error.empty())
+    std::cerr << "warning: journal append failed: " << report.journal_error << "\n";
+  if (report.interrupted) {
+    std::cerr << "interrupted: campaign '" << name << "' checkpointed "
+              << report.completed << "/" << count
+              << " item(s); rerun with --resume to finish\n";
+    std::exit(campaign::kExitResumable);
+  }
+  if (report.deadline_kills != 0)
+    std::cerr << "note: " << report.deadline_kills << " deadline kill(s) in campaign '"
+              << name << "'\n";
+  for (std::size_t q = 0; q < report.quarantined.size(); ++q)
+    std::cerr << "warning: item " << report.quarantined[q] << " quarantined after "
+              << report.items[report.quarantined[q]].attempts << " attempt(s): "
+              << report.errors[q] << "\n";
+  return report;
+}
+
+/// Decodes a supervised campaign back into typed items (input order).
+/// Quarantined or pending items stay default-constructed -- aggregation
+/// treats them like generator misses; run_checkpointed() already warned.
+template <typename Item, typename DecodeFn>
+std::vector<Item> gather_items(const campaign::CampaignReport& report, DecodeFn decode) {
+  std::vector<Item> items(report.items.size());
+  std::size_t undecodable = 0;
+  for (std::size_t i = 0; i < report.items.size(); ++i) {
+    if (report.items[i].state != campaign::ItemOutcome::State::kOk) continue;
+    if (auto item = decode(report.items[i].payload))
+      items[i] = *item;
+    else
+      ++undecodable;
+  }
+  if (undecodable > 0)
+    std::cerr << "warning: " << undecodable
+              << " journaled item payload(s) failed to decode and were dropped\n";
+  return items;
 }
 
 /// Draws skeletons from the item's private RNG stream until the acceptance

@@ -1,0 +1,265 @@
+#include "campaign/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rbs::campaign {
+
+void CancelToken::throw_if_cancelled() const {
+  if (cancelled()) throw CampaignCancelled{};
+}
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void stop_signal_handler(int /*signum*/) {
+  // Async-signal-safe: a lock-free atomic store and nothing else.
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+// Wall-clock time is deliberate here: soft deadlines measure real elapsed
+// time of an item, not simulated ticks. Results never depend on it -- a
+// deadline kill only triggers a deterministic retry of the same seed stream.
+using Clock = std::chrono::steady_clock;  // rbs-lint: allow(nondet)
+
+}  // namespace
+
+const std::atomic<bool>* install_stop_handlers() {
+  std::signal(SIGINT, stop_signal_handler);
+  std::signal(SIGTERM, stop_signal_handler);
+  return &g_stop;
+}
+
+bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
+
+void request_stop() { g_stop.store(true, std::memory_order_relaxed); }
+
+Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
+  jobs_ = options.campaign.jobs;
+  if (jobs_ == 0) {
+    jobs_ = std::thread::hardware_concurrency();
+    if (jobs_ == 0) jobs_ = 1;
+  }
+}
+
+CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
+                               const LoadedJournal* resume) const {
+  CampaignReport report;
+  report.items.resize(count);
+  if (count == 0) return report;
+
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, options_.max_attempts);
+  const std::uint64_t seed = options_.campaign.seed;
+
+  struct Work {
+    std::size_t index = 0;
+    std::uint32_t attempt = 1;  ///< 1-based attempt this claim will execute
+  };
+  struct InFlightItem {
+    std::shared_ptr<CancelToken> token;
+    Clock::time_point start;
+  };
+  struct State {
+    std::mutex mutex;
+    std::condition_variable work_cv;      ///< work arrived / drain finished
+    std::condition_variable watchdog_cv;  ///< wakes the watchdog on shutdown
+    std::deque<Work> queue;
+    std::map<std::size_t, InFlightItem> in_flight;
+    bool stopping = false;  ///< stop requested: claim no further items
+    bool done = false;      ///< workers joined: watchdog may exit
+  } state;
+
+  // Must only be called with state.mutex held (appends stay ordered and the
+  // report field is race-free).
+  const auto journal_append = [this, &report](const JournalRecord& record) {
+    if (options_.journal == nullptr) return;
+    const Status status = options_.journal->append(record);
+    if (!status && report.journal_error.empty()) report.journal_error = status.message();
+  };
+
+  // ---- seed the queue, installing journaled verdicts for resume ------------
+  {
+    std::vector<std::uint32_t> failed_attempts(count, 0);
+    std::vector<const JournalRecord*> final_verdict(count, nullptr);
+    std::vector<const JournalRecord*> last_failure(count, nullptr);
+    if (resume != nullptr) {
+      for (const JournalRecord& record : resume->records) {
+        if (record.index >= count) continue;  // header mismatch is caller-checked
+        const auto i = static_cast<std::size_t>(record.index);
+        if (record.kind == JournalRecord::Kind::kFailed) {
+          ++failed_attempts[i];
+          last_failure[i] = &record;
+        } else {
+          final_verdict[i] = &record;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      ItemOutcome& out = report.items[i];
+      report.retried += failed_attempts[i];
+      if (final_verdict[i] != nullptr) {
+        const JournalRecord& verdict = *final_verdict[i];
+        out.attempts = std::max(verdict.attempt, failed_attempts[i]);
+        out.payload = verdict.payload;
+        if (verdict.kind == JournalRecord::Kind::kOk) {
+          out.state = ItemOutcome::State::kOk;
+          ++report.completed;
+        } else {
+          out.state = ItemOutcome::State::kQuarantined;
+        }
+      } else if (failed_attempts[i] >= max_attempts) {
+        // Killed after the last failed attempt was journaled but before the
+        // quarantine verdict landed: finish the bookkeeping now.
+        out.state = ItemOutcome::State::kQuarantined;
+        out.attempts = failed_attempts[i];
+        out.payload = last_failure[i] != nullptr ? last_failure[i]->payload
+                                                 : "retries exhausted in a previous run";
+        journal_append({static_cast<std::uint64_t>(i), failed_attempts[i],
+                        JournalRecord::Kind::kQuarantined, out.payload});
+      } else {
+        state.queue.push_back({i, failed_attempts[i] + 1});
+      }
+    }
+  }
+
+  // ---- worker loop ---------------------------------------------------------
+  const auto worker = [&] {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    for (;;) {
+      state.work_cv.wait(lock, [&] {
+        return state.stopping || !state.queue.empty() || state.in_flight.empty();
+      });
+      if (state.stopping || state.queue.empty()) return;
+
+      const Work work = state.queue.front();
+      state.queue.pop_front();
+      auto token = std::make_shared<CancelToken>();
+      state.in_flight[work.index] = {token, Clock::now()};
+      lock.unlock();
+
+      enum class Result : std::uint8_t { kOk, kCancelled, kError };
+      Result result = Result::kOk;
+      std::string payload;
+      try {
+        Rng rng(item_seed(seed, work.index));
+        payload = fn(work.index, rng, *token);
+      } catch (const CampaignCancelled&) {
+        result = Result::kCancelled;
+      } catch (const std::exception& e) {
+        result = Result::kError;
+        payload = e.what();
+      } catch (...) {
+        result = Result::kError;
+        payload = "unknown exception";
+      }
+
+      lock.lock();
+      state.in_flight.erase(work.index);
+      const CancelToken::Reason reason = token->reason();
+      ItemOutcome& out = report.items[work.index];
+      out.attempts = work.attempt;
+
+      if (result == Result::kOk) {
+        // A finished item is a finished item, even if the deadline or a stop
+        // flagged it meanwhile -- the result is deterministic in the seed.
+        out.state = ItemOutcome::State::kOk;
+        out.payload = std::move(payload);
+        ++report.completed;
+        journal_append({static_cast<std::uint64_t>(work.index), work.attempt,
+                        JournalRecord::Kind::kOk, out.payload});
+      } else if (result == Result::kCancelled && reason == CancelToken::Reason::kStop) {
+        // Drained by a stop request: stays kPending, reruns on --resume.
+        out.attempts = work.attempt - 1;
+      } else {
+        if (reason == CancelToken::Reason::kDeadline) {
+          ++report.deadline_kills;
+          if (result == Result::kCancelled)
+            payload = "soft deadline exceeded (cancelled by watchdog)";
+        } else if (result == Result::kCancelled) {
+          payload = "item observed a cancellation that was never requested";
+        }
+        if (work.attempt < max_attempts && !state.stopping) {
+          ++report.retried;
+          journal_append({static_cast<std::uint64_t>(work.index), work.attempt,
+                          JournalRecord::Kind::kFailed, payload});
+          state.queue.push_back({work.index, work.attempt + 1});
+        } else if (work.attempt < max_attempts) {
+          // Stopping: journal the failure but leave the retry for --resume.
+          journal_append({static_cast<std::uint64_t>(work.index), work.attempt,
+                          JournalRecord::Kind::kFailed, payload});
+        } else {
+          out.state = ItemOutcome::State::kQuarantined;
+          out.payload = std::move(payload);
+          journal_append({static_cast<std::uint64_t>(work.index), work.attempt,
+                          JournalRecord::Kind::kQuarantined, out.payload});
+        }
+      }
+      state.work_cv.notify_all();
+    }
+  };
+
+  // ---- watchdog: deadline kills + stop propagation -------------------------
+  std::thread watchdog;
+  const bool need_watchdog = options_.soft_deadline_s > 0.0 || options_.stop != nullptr;
+  if (need_watchdog) {
+    watchdog = std::thread([&] {
+      const std::chrono::duration<double> deadline(options_.soft_deadline_s);
+      std::unique_lock<std::mutex> lock(state.mutex);
+      while (!state.done) {
+        state.watchdog_cv.wait_for(lock, std::chrono::milliseconds(15),
+                                   [&] { return state.done; });
+        if (state.done) return;
+        if (options_.stop != nullptr &&
+            options_.stop->load(std::memory_order_relaxed) && !state.stopping) {
+          state.stopping = true;
+          for (auto& [index, item] : state.in_flight)
+            item.token->cancel(CancelToken::Reason::kStop);
+          state.work_cv.notify_all();
+        }
+        if (options_.soft_deadline_s > 0.0) {
+          const Clock::time_point now = Clock::now();
+          for (auto& [index, item] : state.in_flight)
+            if (now - item.start >= deadline)
+              item.token->cancel(CancelToken::Reason::kDeadline);
+        }
+      }
+    });
+  }
+
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, std::max<std::size_t>(1, count)));
+  std::vector<std::thread> workers;
+  workers.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) workers.emplace_back(worker);
+  for (std::thread& w : workers) w.join();
+
+  if (need_watchdog) {
+    {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      state.done = true;
+    }
+    state.watchdog_cv.notify_all();
+    watchdog.join();
+  }
+
+  for (const ItemOutcome& out : report.items)
+    if (out.state == ItemOutcome::State::kPending) report.interrupted = true;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (report.items[i].state != ItemOutcome::State::kQuarantined) continue;
+    report.quarantined.push_back(i);
+    report.errors.push_back(report.items[i].payload);
+  }
+  return report;
+}
+
+}  // namespace rbs::campaign

@@ -1,0 +1,152 @@
+// Fault-tolerant campaign supervisor: per-item soft deadlines, capped
+// retries, quarantine of poison items, cooperative cancellation, and
+// journal-backed crash-safe resume.
+//
+// The plain CampaignRunner (runner.hpp) fails the whole campaign on the
+// first item error (lowest-index rethrow) and keeps every result in memory
+// until the caller writes its CSV. The Supervisor turns those all-or-nothing
+// semantics into a `CampaignReport`:
+//
+//   * an item that throws is retried with the SAME seed stream, up to
+//     `max_attempts`; deterministic failures exhaust the budget and land in
+//     the quarantine list instead of aborting the other items;
+//   * a watchdog thread tracks per-item wall-clock age and cancels items
+//     that outlive `soft_deadline_s` via their CancelToken. Cancellation is
+//     cooperative: long-running workloads observe token.cancelled() (or call
+//     token.throw_if_cancelled()) and bail with CampaignCancelled; the
+//     supervisor counts a deadline kill and retries/quarantines the item.
+//     Results computed by items that finish despite the flag are kept --
+//     the deadline is soft, and item results depend only on the item seed;
+//   * SIGINT/SIGTERM (install_stop_handlers()) request a stop: workers stop
+//     claiming, in-flight items are drained (their tokens are flagged with
+//     Reason::kStop so cooperative items can bail early), the journal is
+//     flushed, and the report comes back `interrupted` -- the CLI layer then
+//     exits with kExitResumable so wrappers know `--resume` will finish the
+//     run;
+//   * with a JournalWriter attached, every finished attempt is appended
+//     durably; a later run resumes from the loaded journal and recomputes
+//     only what is missing. Determinism is preserved: items draw from
+//     per-item seed streams, so the resumed campaign's results -- and any
+//     CSV aggregated from them -- are byte-identical to an uninterrupted
+//     run at any worker count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/runner.hpp"
+#include "gen/rng.hpp"
+
+namespace rbs::campaign {
+
+/// Exit code meaning "interrupted but checkpointed: rerun with --resume to
+/// finish". 75 is BSD's EX_TEMPFAIL ("temporary failure, retry later"),
+/// distinct from success (0), failure (1), and usage errors (2).
+inline constexpr int kExitResumable = 75;
+
+/// Per-item cancellation flag, set by the watchdog (deadline) or the stop
+/// path (signal). Cooperative: items poll it at convenient boundaries.
+class CancelToken {
+ public:
+  enum class Reason : std::uint8_t { kNone, kDeadline, kStop };
+
+  [[nodiscard]] bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) != Reason::kNone;
+  }
+  [[nodiscard]] Reason reason() const { return reason_.load(std::memory_order_relaxed); }
+
+  /// Throws CampaignCancelled when the token is flagged; the idiomatic
+  /// checkpoint call inside long-running items.
+  void throw_if_cancelled() const;
+
+  /// First reason wins (a deadline kill is not demoted to a stop drain).
+  void cancel(Reason reason) {
+    Reason expected = Reason::kNone;
+    reason_.compare_exchange_strong(expected, reason, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Reason> reason_{Reason::kNone};
+};
+
+/// Thrown by cooperative items observing their CancelToken.
+struct CampaignCancelled {};
+
+struct SupervisorOptions {
+  CampaignOptions campaign;     ///< worker count + master seed (see runner.hpp)
+  double soft_deadline_s = 0.0; ///< per-item wall-clock budget; 0 disables
+  std::uint32_t max_attempts = 3;  ///< attempts before quarantine (>= 1)
+  JournalWriter* journal = nullptr;  ///< optional durable record sink
+  /// External stop request (typically install_stop_handlers()); polled by
+  /// the watchdog and at item claim time. May be null.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Final state of one campaign item.
+struct ItemOutcome {
+  enum class State : std::uint8_t {
+    kPending,      ///< never finished (campaign interrupted before it could)
+    kOk,           ///< payload holds the result row
+    kQuarantined,  ///< payload holds the last error message
+  };
+  State state = State::kPending;
+  std::uint32_t attempts = 0;  ///< attempts consumed (including journaled ones)
+  std::string payload;
+};
+
+/// What a supervised campaign produced: per-item outcomes plus the fault
+/// bookkeeping (instead of CampaignRunner's lowest-index rethrow).
+struct CampaignReport {
+  std::vector<ItemOutcome> items;       ///< input order, size = item count
+  std::size_t completed = 0;            ///< items with State::kOk
+  std::size_t retried = 0;              ///< failed attempts that were requeued
+  std::size_t deadline_kills = 0;       ///< cancellations by the watchdog
+  std::vector<std::size_t> quarantined; ///< indices with State::kQuarantined
+  std::vector<std::string> errors;      ///< last error per quarantined index
+  bool interrupted = false;             ///< stop requested before completion
+  std::string journal_error;            ///< first journal-append failure, if any
+
+  [[nodiscard]] bool all_completed() const { return completed == items.size(); }
+};
+
+/// One supervised item attempt: compute the result row for `index` from its
+/// private RNG stream, observing `token` at convenient cancellation points.
+using SupervisedFn =
+    std::function<std::string(std::size_t index, Rng& rng, const CancelToken& token)>;
+
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorOptions& options);
+
+  /// Resolved worker count (after the jobs == 0 hardware lookup).
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Runs `fn` over [0, count), retrying and quarantining as configured.
+  /// With `resume`, item verdicts already journaled are installed instead of
+  /// recomputed (the caller must have validated the journal header against
+  /// this campaign's seed/count/tag). Not reentrant.
+  [[nodiscard]] CampaignReport run(std::size_t count, const SupervisedFn& fn,
+                                   const LoadedJournal* resume = nullptr) const;
+
+ private:
+  SupervisorOptions options_;
+  unsigned jobs_ = 1;
+};
+
+/// Installs SIGINT/SIGTERM handlers that set (and never clear) a process-wide
+/// stop flag; returns the flag for SupervisorOptions::stop. Idempotent.
+const std::atomic<bool>* install_stop_handlers();
+
+/// True once a stop signal arrived (or request_stop() was called).
+[[nodiscard]] bool stop_requested();
+
+/// Sets the process-wide stop flag programmatically (tests; --max-seconds
+/// style wall-clock caps).
+void request_stop();
+
+}  // namespace rbs::campaign

@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), dependency-free.
+//
+// Guards the campaign result journal (campaign/journal.hpp): every record
+// line carries the checksum of its canonical payload, so a torn or bit-rotted
+// append is detected on load instead of being parsed as a valid result.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace rbs {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data` (standard init/final XOR with 0xFFFFFFFF).
+constexpr std::uint32_t crc32(std::string_view data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data)
+    crc = detail::kCrc32Table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+static_assert(crc32("123456789") == 0xCBF43926u, "CRC-32 check vector");
+
+}  // namespace rbs

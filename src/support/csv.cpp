@@ -17,31 +17,34 @@ std::string csv_escape(const std::string& cell) {
   return quoted;
 }
 
-CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {}
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
-  if (!out_) return;
+  if (!file_.ok()) return;
+  std::string line;
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << csv_escape(cells[i]);
+    if (i > 0) line += ',';
+    line += csv_escape(cells[i]);
   }
-  out_ << '\n';
+  line += '\n';
+  file_.write(line);
 }
 
 void CsvWriter::write_raw_line(const std::string& line) {
-  if (!out_) return;
-  out_ << line << '\n';
+  if (!file_.ok()) return;
+  file_.write(line + '\n');
 }
 
 void CsvWriter::write_row_numeric(const std::vector<double>& values) {
-  if (!out_) return;
+  if (!file_.ok()) return;
   std::ostringstream line;
   line.precision(std::numeric_limits<double>::max_digits10);
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) line << ',';
     line << values[i];
   }
-  out_ << line.str() << '\n';
+  line << '\n';
+  file_.write(line.str());
 }
 
 }  // namespace rbs

@@ -1,22 +1,34 @@
 // Minimal CSV writer so every bench can optionally dump its series for
 // external plotting (`--csv <dir>`).
+//
+// Writes are crash-safe: rows accumulate in `<path>.tmp` and the finished
+// file is fsynced and atomically renamed over `<path>` on destruction (or an
+// explicit commit()). A campaign killed mid-run therefore never leaves a
+// torn half-result CSV that later tooling parses as truth -- the final file
+// either does not exist yet or is complete.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "support/atomic_file.hpp"
 
 namespace rbs {
 
 /// Writes RFC-4180-ish CSV (values containing commas/quotes/newlines are
-/// quoted). The file is created on construction and flushed on destruction.
+/// quoted). The temporary is created on construction; the final file appears
+/// atomically when the writer is destroyed or commit() is called.
 class CsvWriter {
  public:
-  /// Opens `path` for writing; `ok()` reports failure instead of throwing so
-  /// benches can degrade gracefully when the directory does not exist.
+  /// Opens `path + ".tmp"` for writing; `ok()` reports failure instead of
+  /// throwing so benches can degrade gracefully when the directory does not
+  /// exist.
   explicit CsvWriter(const std::string& path);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  CsvWriter(CsvWriter&&) noexcept = default;
+  CsvWriter& operator=(CsvWriter&&) noexcept = default;
+
+  bool ok() const { return file_.ok(); }
 
   void write_row(const std::vector<std::string>& cells);
 
@@ -27,8 +39,12 @@ class CsvWriter {
   /// are already escaped; used for byte-identity-checked campaign rows).
   void write_raw_line(const std::string& line);
 
+  /// fsync + rename `<path>.tmp` over `<path>`; idempotent (also run by the
+  /// destructor). Returns false when the file could not be made durable.
+  bool commit() { return file_.commit(); }
+
  private:
-  std::ofstream out_;
+  AtomicFile file_;
 };
 
 /// Quotes a single CSV cell if needed.

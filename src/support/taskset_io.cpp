@@ -35,19 +35,37 @@ std::vector<std::string> split_fields(const std::string& line) {
   return fields;
 }
 
-// Parses a tick value; "inf" (any case) maps to the sentinel.
-bool parse_ticks(const std::string& field, Ticks& out) {
+// What a tick field parsed to. Infinities and NaNs are classified instead of
+// silently accepted/garbled so the caller can reject them per field with a
+// descriptive message (only D(HI)/T(HI) of a LO task may legally be "inf").
+enum class TickParse {
+  kValue,     ///< finite non-negative value in range
+  kInf,       ///< an explicit "inf"/"infinity" token
+  kNaN,       ///< an explicit "nan" token
+  kNegative,  ///< negative value or "-inf"
+  kTooLarge,  ///< overflows or reaches the kInfTicks sentinel
+  kBad,       ///< not a number at all
+};
+
+TickParse parse_ticks(const std::string& field, Ticks& out) {
   std::string lower = field;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  if (lower == "inf" || lower == "+inf" || lower == "infinity") {
+  if (lower == "nan" || lower == "+nan" || lower == "-nan") return TickParse::kNaN;
+  if (lower == "inf" || lower == "+inf" || lower == "infinity" || lower == "+infinity") {
     out = kInfTicks;
-    return true;
+    return TickParse::kInf;
   }
+  if (lower == "-inf" || lower == "-infinity") return TickParse::kNegative;
   const auto* first = field.data();
   const auto* last = field.data() + field.size();
   const auto [ptr, ec] = std::from_chars(first, last, out);
-  return ec == std::errc{} && ptr == last && out >= 0;
+  if (ec == std::errc::result_out_of_range)
+    return field.size() > 0 && field[0] == '-' ? TickParse::kNegative : TickParse::kTooLarge;
+  if (ec != std::errc{} || ptr != last) return TickParse::kBad;
+  if (out < 0) return TickParse::kNegative;
+  if (out >= kInfTicks) return TickParse::kTooLarge;
+  return TickParse::kValue;
 }
 
 }  // namespace
@@ -81,10 +99,38 @@ std::variant<TaskSet, ParseError> read_task_set(std::istream& in) {
 
     Ticks v[6];
     static const char* kFieldNames[] = {"C(LO)", "C(HI)", "D(LO)", "D(HI)", "T(LO)", "T(HI)"};
-    for (int i = 0; i < 6; ++i)
-      if (!parse_ticks(fields[static_cast<std::size_t>(i) + 2], v[i]))
-        return ParseError{line_no, std::string("cannot parse ") + kFieldNames[i] + ": '" +
-                                       fields[static_cast<std::size_t>(i) + 2] + "'"};
+    // Only D(HI) and T(HI) may carry "inf" (a LO task never re-released in
+    // HI mode); every other field must be a finite positive integer.
+    static const bool kMayBeInf[] = {false, false, false, true, false, true};
+    for (int i = 0; i < 6; ++i) {
+      const std::string& raw = fields[static_cast<std::size_t>(i) + 2];
+      const std::string what = std::string(kFieldNames[i]) + ": '" + raw + "'";
+      switch (parse_ticks(raw, v[i])) {
+        case TickParse::kValue:
+          break;
+        case TickParse::kInf:
+          if (!kMayBeInf[i])
+            return ParseError{line_no, kFieldNames[i] +
+                                           std::string(" must be finite; only D(HI)/T(HI) of "
+                                                       "a LO task may be 'inf'")};
+          break;
+        case TickParse::kNaN:
+          return ParseError{line_no, "NaN is not a valid tick value for " + what};
+        case TickParse::kNegative:
+          return ParseError{line_no, "negative value for " + what + "; tick values must be "
+                                     "positive integers"};
+        case TickParse::kTooLarge:
+          return ParseError{line_no, "value out of the finite tick range for " + what};
+        case TickParse::kBad:
+          return ParseError{line_no, "cannot parse " + what};
+      }
+      // Non-positive periods and deadlines are malformed input, not a model
+      // to hand to the analysis (validate() would flag them too, but the
+      // parse layer owes the caller the field and line).
+      if (i >= 2 && v[i] == 0)
+        return ParseError{line_no,
+                          std::string(kFieldNames[i]) + " must be positive, got '" + raw + "'"};
+    }
     const Ticks c_lo = v[0], c_hi = v[1], d_lo = v[2], d_hi = v[3], t_lo = v[4], t_hi = v[5];
 
     McTask task = crit == "HI" ? McTask::hi(name, c_lo, c_hi, d_lo, d_hi, t_lo)

@@ -92,6 +92,57 @@ TEST(TaskSetIoTest, RejectsNegativeNumbers) {
   EXPECT_EQ(parse_error("t, LO, -1, -1, 2, 2, 2, 2\n").line, 1);
 }
 
+TEST(TaskSetIoTest, RejectsNaN) {
+  const ParseError e = parse_error("t, LO, nan, nan, 2, 2, 2, 2\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("NaN"), std::string::npos);
+  EXPECT_NE(e.message.find("C(LO)"), std::string::npos);
+  EXPECT_NE(parse_error("t, HI, 1, 2, 3, NAN, 6, 6\n").message.find("NaN"),
+            std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsInfWhereOnlyFiniteIsLegal) {
+  // "inf" is only meaningful for D(HI)/T(HI) of a LO task; a WCET or a
+  // LO-mode bound can never be infinite.
+  const ParseError e = parse_error("t, LO, inf, inf, 2, 2, 2, 2\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("C(LO)"), std::string::npos);
+  EXPECT_NE(e.message.find("finite"), std::string::npos);
+  EXPECT_NE(parse_error("t, LO, 1, 1, inf, inf, 2, 2\n").message.find("D(LO)"),
+            std::string::npos);
+  EXPECT_NE(parse_error("t, LO, 1, 1, 2, 2, inf, inf\n").message.find("T(LO)"),
+            std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsNegativeInfinity) {
+  const ParseError e = parse_error("t, LO, 1, 1, 2, -inf, 2, 2\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("negative"), std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsNonPositivePeriodsAndDeadlines) {
+  EXPECT_NE(parse_error("t, LO, 1, 1, 0, 5, 5, 5\n").message.find("D(LO) must be positive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("t, LO, 1, 1, 5, 0, 5, 5\n").message.find("D(HI) must be positive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("t, LO, 1, 1, 5, 5, 0, 5\n").message.find("T(LO) must be positive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("t, LO, 1, 1, 5, 5, 5, 0\n").message.find("T(HI) must be positive"),
+            std::string::npos);
+  EXPECT_NE(parse_error("t, HI, 1, 2, -3, 6, 6, 6\n").message.find("negative"),
+            std::string::npos);
+}
+
+TEST(TaskSetIoTest, RejectsOutOfRangeValues) {
+  // Larger than the kInfTicks sentinel (and than int64) in a finite field.
+  const ParseError e = parse_error("t, LO, 1, 1, 2, 99999999999999999999, 5, 5\n");
+  EXPECT_EQ(e.line, 1);
+  EXPECT_NE(e.message.find("range"), std::string::npos);
+  // Exactly the sentinel value spelled as digits is not a legal finite tick.
+  const ParseError s = parse_error("t, LO, 1, 1, 2, 9223372036854775807, 5, 5\n");
+  EXPECT_NE(s.message.find("range"), std::string::npos);
+}
+
 TEST(TaskSetIoTest, RoundTripsTable1) {
   std::ostringstream out;
   write_task_set(out, table1_degraded());

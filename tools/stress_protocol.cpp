@@ -17,16 +17,30 @@
 // scripted episodes, so a run replays bit-for-bit. On a violation the
 // harness re-runs the trace via SimConfig::scripted_arrivals and greedily
 // shrinks the job list to a minimal reproducer before reporting it.
-// Exit codes: 0 = clean sweep, 1 = unlicensed violation, 2 = bad usage.
+//
+// Fault tolerance: `--checkpoint <path>` journals one record per finished
+// set (campaign/journal.hpp), `--resume` skips journaled sets while keeping
+// the RNG sequence aligned (their fork_seed draws are replayed), and
+// `--max-seconds S` caps the wall-clock budget -- when it runs out, or on
+// SIGINT/SIGTERM, the sweep checkpoints and exits with the resumable code.
+//
+// Exit codes: 0 = clean sweep, 1 = unlicensed violation, 2 = bad usage,
+// 75 = interrupted but resumable (campaign/supervisor.hpp kExitResumable).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
+#include "campaign/journal.hpp"
+#include "campaign/supervisor.hpp"
 #include "core/analysis.hpp"
 #include "core/edf.hpp"
 #include "core/resilience.hpp"
@@ -202,16 +216,55 @@ void report_failure(const Scenario& sc, const WatchdogReport& report,
 
 }  // namespace
 
+namespace {
+
+/// Per-set counter deltas, journaled as the payload of one kOk record so a
+/// resumed sweep restores its totals without re-simulating finished sets.
+struct SetCounters {
+  std::uint64_t runs = 0, licensed = 0, faulted = 0, fallback = 0, exit_code = 0;
+};
+
+std::string encode_counters(const SetCounters& c) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer, "%llu,%llu,%llu,%llu,%llu",
+                static_cast<unsigned long long>(c.runs),
+                static_cast<unsigned long long>(c.licensed),
+                static_cast<unsigned long long>(c.faulted),
+                static_cast<unsigned long long>(c.fallback),
+                static_cast<unsigned long long>(c.exit_code));
+  return buffer;
+}
+
+std::optional<SetCounters> decode_counters(const std::string& payload) {
+  SetCounters c;
+  unsigned long long runs = 0, licensed = 0, faulted = 0, fallback = 0, exit_code = 0;
+  char trailing = 0;
+  if (std::sscanf(payload.c_str(), "%llu,%llu,%llu,%llu,%llu%c", &runs, &licensed, &faulted,
+                  &fallback, &exit_code, &trailing) != 5)
+    return std::nullopt;
+  c.runs = runs;
+  c.licensed = licensed;
+  c.faulted = faulted;
+  c.fallback = fallback;
+  c.exit_code = exit_code;
+  return c;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const rbs::CliArgs args(argc, argv);
   if (args.get_bool("help")) {
     std::cout << "usage: stress_protocol [--seed N] [--sets N] [--plans N] [--horizon T]\n"
-              << "                       [--u-bound U] [--dump-repro PREFIX] [--verbose]\n";
+              << "                       [--u-bound U] [--dump-repro PREFIX] [--verbose]\n"
+              << "                       [--checkpoint PATH [--resume]] [--max-seconds S]\n"
+              << "exit codes: 0 clean, 1 violation, 2 usage, 75 interrupted-but-resumable\n";
     return 0;
   }
   for (const std::string& flag : args.flag_names())
     if (flag != "seed" && flag != "sets" && flag != "plans" && flag != "horizon" &&
-        flag != "u-bound" && flag != "dump-repro" && flag != "verbose" && flag != "help") {
+        flag != "u-bound" && flag != "dump-repro" && flag != "verbose" && flag != "help" &&
+        flag != "checkpoint" && flag != "resume" && flag != "max-seconds") {
       std::cerr << "unknown flag --" << flag << "\n";
       return 2;
     }
@@ -221,21 +274,132 @@ int main(int argc, char** argv) {
   const Expected<std::int64_t> n_plans = args.get_int_checked("plans", 4);
   const Expected<double> horizon = args.get_double_checked("horizon", 20000.0);
   const Expected<double> u_bound = args.get_double_checked("u-bound", 0.5);
-  for (const rbs::Status& s :
-       {seed.status(), n_sets.status(), n_plans.status(), horizon.status(), u_bound.status()})
+  const Expected<double> max_seconds = args.get_double_checked("max-seconds", 0.0);
+  for (const rbs::Status& s : {seed.status(), n_sets.status(), n_plans.status(),
+                               horizon.status(), u_bound.status(), max_seconds.status()})
     if (!s) {
       std::cerr << s.message() << "\n";
       return 2;
     }
   const std::string dump_prefix = args.get_string("dump-repro", "");
   const bool verbose = args.get_bool("verbose");
+  const std::string checkpoint = args.get_string("checkpoint", "");
+  const bool resume = args.has("resume");
+  if (resume && checkpoint.empty()) {
+    std::cerr << "error: --resume requires --checkpoint PATH\n";
+    return 2;
+  }
+
+  // ---- checkpoint journal: one record per finished set --------------------
+  // The header ties the journal to the sweep's full parameterisation; resume
+  // refuses a journal from a different workload.
+  namespace campaign = rbs::campaign;
+  char tag_buffer[160];
+  std::snprintf(tag_buffer, sizeof tag_buffer,
+                "stress_protocol|plans=%lld|horizon=%.17g|u=%.17g",
+                static_cast<long long>(n_plans.value()), horizon.value(), u_bound.value());
+  const campaign::JournalHeader header{static_cast<std::uint64_t>(seed.value()),
+                                       static_cast<std::uint64_t>(n_sets.value()), tag_buffer};
+  std::optional<campaign::LoadedJournal> loaded;
+  std::optional<campaign::JournalWriter> journal;
+  if (!checkpoint.empty()) {
+    const std::string journal_path = checkpoint + ".stress.journal";
+    bool fresh = !resume;
+    std::error_code ec;
+    if (resume && !std::filesystem::exists(journal_path, ec)) {
+      std::cerr << "note: no journal at '" << journal_path << "'; starting fresh\n";
+      fresh = true;
+    } else if (resume) {
+      auto loaded_or = campaign::load_journal(journal_path);
+      if (!loaded_or) {
+        std::cerr << "error: cannot resume from '" << journal_path
+                  << "': " << loaded_or.status().message() << "\n";
+        return 1;
+      }
+      if (loaded_or.value().header.seed != header.seed ||
+          loaded_or.value().header.items != header.items ||
+          loaded_or.value().header.tag != header.tag) {
+        std::cerr << "error: journal '" << journal_path
+                  << "' belongs to a different sweep (seed/sets/parameter mismatch); "
+                     "rerun without --resume to replace it\n";
+        return 1;
+      }
+      loaded = std::move(loaded_or).value();
+      auto writer = campaign::JournalWriter::resume(journal_path, *loaded);
+      if (!writer) {
+        std::cerr << "error: cannot reopen journal '" << journal_path
+                  << "': " << writer.status().message() << "\n";
+        return 1;
+      }
+      journal = std::move(writer).value();
+    }
+    if (fresh) {
+      auto writer = campaign::JournalWriter::create(journal_path, header);
+      if (!writer) {
+        std::cerr << "error: cannot create journal '" << journal_path
+                  << "': " << writer.status().message() << "\n";
+        return 1;
+      }
+      journal = std::move(writer).value();
+    }
+  }
+
+  const std::atomic<bool>* stop = campaign::install_stop_handlers();
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (max_seconds.value() <= 0.0) return false;
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t_start;
+    return elapsed.count() >= max_seconds.value();
+  };
 
   rbs::Rng master(static_cast<std::uint64_t>(seed.value()));
   std::size_t runs = 0, licensed_misses = 0, faulted_runs = 0, fallback_runs = 0;
+  std::size_t skipped_done = 0;
   int exit_code = 0;
+  bool interrupted = false;
 
   for (std::int64_t si = 0; si < n_sets.value(); ++si) {
-    rbs::Rng rng(master.fork_seed());
+    // The fork is drawn unconditionally so journaled-complete sets keep the
+    // RNG sequence aligned for the sets that still need to run.
+    const std::uint64_t set_seed = master.fork_seed();
+    if (loaded) {
+      if (const campaign::JournalRecord* done =
+              loaded->final_record(static_cast<std::uint64_t>(si))) {
+        const auto counters = decode_counters(done->payload);
+        if (!counters) {
+          std::cerr << "error: journaled record for set " << si << " has an unreadable "
+                    << "payload '" << done->payload << "'\n";
+          return 1;
+        }
+        runs += counters->runs;
+        licensed_misses += counters->licensed;
+        faulted_runs += counters->faulted;
+        fallback_runs += counters->fallback;
+        if (counters->exit_code != 0) exit_code = static_cast<int>(counters->exit_code);
+        ++skipped_done;
+        continue;
+      }
+    }
+    if (stop->load(std::memory_order_relaxed) || out_of_budget()) {
+      interrupted = true;
+      break;
+    }
+    SetCounters set_counters;
+    // Journals the finished set and folds its deltas into the totals.
+    const auto finish_set = [&](const SetCounters& c) {
+      runs += c.runs;
+      licensed_misses += c.licensed;
+      faulted_runs += c.faulted;
+      fallback_runs += c.fallback;
+      if (journal) {
+        const rbs::Status appended =
+            journal->append({static_cast<std::uint64_t>(si), 1,
+                             campaign::JournalRecord::Kind::kOk, encode_counters(c)});
+        if (!appended)
+          std::cerr << "warning: journal append failed: " << appended.message() << "\n";
+      }
+    };
+    rbs::Rng rng(set_seed);
 
     // -- generate a LO-mode-schedulable set with finite s_min ---------------
     // Periods are kept well under the horizon so each run releases hundreds
@@ -248,16 +412,25 @@ int main(int argc, char** argv) {
     std::optional<rbs::ImplicitSet> skeleton;
     for (int attempt = 0; attempt < 16 && !skeleton; ++attempt)
       skeleton = rbs::generate_task_set(gen, rng);
-    if (!skeleton) continue;
+    if (!skeleton) {
+      finish_set(set_counters);
+      continue;
+    }
     const rbs::MinXResult mx = rbs::min_x_for_lo(*skeleton);
-    if (!mx.feasible) continue;
+    if (!mx.feasible) {
+      finish_set(set_counters);
+      continue;
+    }
     const double x = std::min(1.0, mx.x * (1.0 + rng.uniform(0.02, 0.6)));
     const double y = rng.uniform(1.05, 2.5);
     const TaskSet set = skeleton->materialize(x, y);
     const rbs::AnalysisReport set_report =
         rbs::Analyzer().analyze(set, 1.0, {.speedup = true, .reset = false, .lo = true}).value();
     const double s_min = set_report.s_min;
-    if (!std::isfinite(s_min) || !set_report.lo_schedulable) continue;
+    if (!std::isfinite(s_min) || !set_report.lo_schedulable) {
+      finish_set(set_counters);
+      continue;
+    }
 
     SimConfig base;
     base.horizon = horizon.value();
@@ -302,7 +475,7 @@ int main(int argc, char** argv) {
           WatchdogOptions opts = derive_license(reduced.value(), cfg);
           opts.delta_r_bound = d.delta_r;
           scenarios.push_back({"denied+fallback", cfg, opts, reduced.value()});
-          ++fallback_runs;
+          ++set_counters.fallback;
         }
       }
     }
@@ -313,10 +486,10 @@ int main(int argc, char** argv) {
         std::cerr << "config rejected [" << sc.name << "]: " << result.error_message() << "\n";
         return 2;
       }
-      ++runs;
-      if (result.value().faults_injected > 0) ++faulted_runs;
+      ++set_counters.runs;
+      if (result.value().faults_injected > 0) ++set_counters.faulted;
       if (sc.opts.license.hi_mode_misses || sc.opts.license.lo_mode_misses)
-        licensed_misses += result.value().misses.size();
+        set_counters.licensed += result.value().misses.size();
       const WatchdogReport report = rbs::sim::check_trace(sc.set, sc.cfg, result.value(), sc.opts);
       if (verbose)
         std::cout << "set " << si << " [" << sc.name << "]: " << result.value().mode_switches
@@ -325,13 +498,24 @@ int main(int argc, char** argv) {
       if (report.ok()) continue;
 
       exit_code = 1;
+      set_counters.exit_code = 1;
       auto script = script_from_trace(sc.set, result.value());
       if (still_fails(sc, script)) script = shrink(sc, std::move(script));
       report_failure(sc, report, script, dump_prefix);
     }
+    finish_set(set_counters);
     if (exit_code != 0) break;
   }
 
+  if (skipped_done > 0)
+    std::cout << "resumed: " << skipped_done << " set(s) restored from the journal\n";
+  if (interrupted && exit_code == 0) {
+    std::cout << "stress_protocol: interrupted ("
+              << (stop->load(std::memory_order_relaxed) ? "stop signal" : "--max-seconds budget")
+              << "); progress checkpointed" << (journal ? "" : " NOWHERE (no --checkpoint)")
+              << ", rerun with --resume to finish\n";
+    return campaign::kExitResumable;
+  }
   std::cout << "stress_protocol: " << runs << " runs (" << faulted_runs << " faulted, "
             << fallback_runs << " with fallback), " << licensed_misses << " licensed miss(es), "
             << (exit_code == 0 ? "no" : "FOUND") << " unlicensed violations\n";
