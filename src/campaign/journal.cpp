@@ -395,9 +395,12 @@ Expected<JournalWriter> JournalWriter::create(const std::string& path,
   }
   JournalWriter writer;
   writer.path_ = path;
-  writer.out_ = std::fopen(path.c_str(), "ab");
-  if (writer.out_ == nullptr)
-    return Status::error("cannot reopen journal '" + path + "' for appending");
+  {
+    const LockGuard lock(writer.mutex_);
+    writer.out_ = std::fopen(path.c_str(), "ab");
+    if (writer.out_ == nullptr)
+      return Status::error("cannot reopen journal '" + path + "' for appending");
+  }
   return writer;
 }
 
@@ -412,18 +415,23 @@ Expected<JournalWriter> JournalWriter::resume(const std::string& path,
   }
   JournalWriter writer;
   writer.path_ = path;
-  writer.out_ = std::fopen(path.c_str(), "ab");
-  if (writer.out_ == nullptr)
-    return Status::error("cannot open journal '" + path + "' for appending");
+  {
+    const LockGuard lock(writer.mutex_);
+    writer.out_ = std::fopen(path.c_str(), "ab");
+    if (writer.out_ == nullptr)
+      return Status::error("cannot open journal '" + path + "' for appending");
+  }
   return writer;
 }
 
-JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : path_(std::move(other.path_)), out_(other.out_) {
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept RBS_NO_THREAD_SAFETY_ANALYSIS
+    : path_(std::move(other.path_)),
+      out_(other.out_) {
   other.out_ = nullptr;
 }
 
-JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept
+    RBS_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     if (out_ != nullptr) std::fclose(out_);
     path_ = std::move(other.path_);
@@ -434,6 +442,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
 }
 
 JournalWriter::~JournalWriter() {
+  const LockGuard lock(mutex_);
   if (out_ != nullptr) {
     fsync_stream(out_);
     std::fclose(out_);
@@ -441,8 +450,9 @@ JournalWriter::~JournalWriter() {
 }
 
 Status JournalWriter::append(const JournalRecord& record) {
-  if (out_ == nullptr) return Status::error("journal writer is closed");
   const std::string line = serialize_record(record);
+  const LockGuard lock(mutex_);
+  if (out_ == nullptr) return Status::error("journal writer is closed");
   if (std::fwrite(line.data(), 1, line.size(), out_) != line.size())
     return Status::error("short write appending to journal '" + path_ + "'");
   if (!fsync_stream(out_))

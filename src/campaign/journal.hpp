@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "support/status.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rbs::campaign {
 
@@ -73,7 +74,12 @@ struct LoadedJournal {
 /// conflicting duplicate verdicts -- returns a descriptive error.
 [[nodiscard]] Expected<LoadedJournal> load_journal(const std::string& path);
 
-/// Appends records durably (one fsync per record).
+/// Appends records durably (one fsync per record). Internally synchronized:
+/// append() may be called from any worker thread; the stream handle is
+/// RBS_GUARDED_BY an internal mutex, so lock discipline is checked by Clang
+/// -Wthread-safety and rbs_lint. Moving a writer concurrently with appends
+/// is undefined (moves transfer the handle without synchronization and are
+/// excluded from analysis).
 class JournalWriter {
  public:
   /// Starts a fresh journal at `path` (atomic header write; an existing
@@ -86,14 +92,17 @@ class JournalWriter {
   [[nodiscard]] static Expected<JournalWriter> resume(const std::string& path,
                                                       const LoadedJournal& loaded);
 
-  JournalWriter(JournalWriter&& other) noexcept;
-  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  // Moves transfer the stream handle without locking either side (callers
+  // must not move a writer that other threads are appending to), so they are
+  // excluded from thread-safety analysis.
+  JournalWriter(JournalWriter&& other) noexcept RBS_NO_THREAD_SAFETY_ANALYSIS;
+  JournalWriter& operator=(JournalWriter&& other) noexcept RBS_NO_THREAD_SAFETY_ANALYSIS;
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
   /// Serializes, CRC-stamps, appends, flushes, and fsyncs one record.
-  [[nodiscard]] Status append(const JournalRecord& record);
+  [[nodiscard]] Status append(const JournalRecord& record) RBS_EXCLUDES(mutex_);
 
   const std::string& path() const { return path_; }
 
@@ -101,7 +110,8 @@ class JournalWriter {
   JournalWriter() = default;
 
   std::string path_;
-  std::FILE* out_ = nullptr;
+  Mutex mutex_;
+  std::FILE* out_ RBS_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// Serialized forms (exposed for tests and the corruption corpus).

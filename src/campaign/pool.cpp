@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 ThreadPool::~ThreadPool() {
   wait_idle();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -22,21 +22,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  // Predicate-free wait loop so the guarded reads sit in this function,
+  // where the capability is visibly held (see CondVar's header note).
+  while (!(queue_.empty() && in_flight_ == 0)) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!(stop_ || !queue_.empty())) work_cv_.wait(lock);
     if (queue_.empty()) return;  // stop_ with a drained queue
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();

@@ -4,15 +4,19 @@
 // queue, and a drain barrier. The campaign runner (runner.hpp) layers
 // deterministic work distribution on top; the pool itself knows nothing
 // about RNG streams or result ordering.
+//
+// Lock discipline is machine-checked twice (support/thread_annotations.hpp):
+// every RBS_GUARDED_BY member below is verified against `mutex_` by Clang's
+// -Wthread-safety and by rbs_lint's lock-discipline rule.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace rbs::campaign {
 
@@ -35,21 +39,21 @@ class ThreadPool {
 
   /// Enqueues one job. Jobs must not throw (wrap and capture exceptions on
   /// the caller's side; the runner does exactly that).
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) RBS_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no job is executing.
-  void wait_idle();
+  void wait_idle() RBS_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() RBS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< signalled when work arrives / on stop
-  std::condition_variable idle_cv_;  ///< signalled when the pool may be idle
-  std::size_t in_flight_ = 0;        ///< jobs currently executing
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar work_cv_;  ///< signalled when work arrives / on stop
+  CondVar idle_cv_;  ///< signalled when the pool may be idle
+  std::deque<std::function<void()>> queue_ RBS_GUARDED_BY(mutex_);
+  std::size_t in_flight_ RBS_GUARDED_BY(mutex_) = 0;  ///< jobs currently executing
+  bool stop_ RBS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace rbs::campaign

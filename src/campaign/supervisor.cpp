@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <deque>
 #include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "support/thread_annotations.hpp"
 
 namespace rbs::campaign {
 
@@ -23,7 +23,9 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void stop_signal_handler(int /*signum*/) {
-  // Async-signal-safe: a lock-free atomic store and nothing else.
+  // Async-signal-safe: a lock-free atomic store and nothing else. rbs_lint's
+  // signal-safety rule walks everything reachable from here against the
+  // async-signal-safe allowlist.
   g_stop.store(true, std::memory_order_relaxed);
 }
 
@@ -69,18 +71,22 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
     std::shared_ptr<CancelToken> token;
     Clock::time_point start;
   };
+  // The shared scheduling state. Every mutable member is RBS_GUARDED_BY the
+  // struct's mutex, so both Clang's -Wthread-safety and rbs_lint's
+  // lock-discipline rule verify that workers and the watchdog never touch it
+  // without holding the lock.
   struct State {
-    std::mutex mutex;
-    std::condition_variable work_cv;      ///< work arrived / drain finished
-    std::condition_variable watchdog_cv;  ///< wakes the watchdog on shutdown
-    std::deque<Work> queue;
-    std::map<std::size_t, InFlightItem> in_flight;
-    bool stopping = false;  ///< stop requested: claim no further items
-    bool done = false;      ///< workers joined: watchdog may exit
+    Mutex mutex;
+    CondVar work_cv;      ///< work arrived / drain finished
+    CondVar watchdog_cv;  ///< wakes the watchdog on shutdown
+    std::deque<Work> queue RBS_GUARDED_BY(mutex);
+    std::map<std::size_t, InFlightItem> in_flight RBS_GUARDED_BY(mutex);
+    bool stopping RBS_GUARDED_BY(mutex) = false;  ///< claim no further items
+    bool done RBS_GUARDED_BY(mutex) = false;      ///< workers joined: watchdog may exit
   } state;
 
   // Must only be called with state.mutex held (appends stay ordered and the
-  // report field is race-free).
+  // report field is race-free; the JournalWriter also takes its own lock).
   const auto journal_append = [this, &report](const JournalRecord& record) {
     if (options_.journal == nullptr) return;
     const Status status = options_.journal->append(record);
@@ -104,6 +110,9 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
         }
       }
     }
+    // Workers do not exist yet, but the queue is guarded state: hold the
+    // (uncontended) lock so the annotation holds by construction.
+    const LockGuard lock(state.mutex);
     for (std::size_t i = 0; i < count; ++i) {
       ItemOutcome& out = report.items[i];
       report.retried += failed_attempts[i];
@@ -134,11 +143,10 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
 
   // ---- worker loop ---------------------------------------------------------
   const auto worker = [&] {
-    std::unique_lock<std::mutex> lock(state.mutex);
+    UniqueLock lock(state.mutex);
     for (;;) {
-      state.work_cv.wait(lock, [&] {
-        return state.stopping || !state.queue.empty() || state.in_flight.empty();
-      });
+      while (!(state.stopping || !state.queue.empty() || state.in_flight.empty()))
+        state.work_cv.wait(lock);
       if (state.stopping || state.queue.empty()) return;
 
       const Work work = state.queue.front();
@@ -214,10 +222,11 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
   if (need_watchdog) {
     watchdog = std::thread([&] {
       const std::chrono::duration<double> deadline(options_.soft_deadline_s);
-      std::unique_lock<std::mutex> lock(state.mutex);
+      UniqueLock lock(state.mutex);
       while (!state.done) {
-        state.watchdog_cv.wait_for(lock, std::chrono::milliseconds(15),
-                                   [&] { return state.done; });
+        // Plain timed wait; the loop re-checks `done` under the lock, so a
+        // spurious or shutdown wakeup is handled identically to a timeout.
+        state.watchdog_cv.wait_for(lock, std::chrono::milliseconds(15));
         if (state.done) return;
         if (options_.stop != nullptr &&
             options_.stop->load(std::memory_order_relaxed) && !state.stopping) {
@@ -245,7 +254,7 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
 
   if (need_watchdog) {
     {
-      const std::lock_guard<std::mutex> lock(state.mutex);
+      const LockGuard lock(state.mutex);
       state.done = true;
     }
     state.watchdog_cv.notify_all();

@@ -266,6 +266,54 @@ TEST(SupervisorTest, CancelTokenThrowsOnlyWhenFlagged) {
   EXPECT_THROW(token.throw_if_cancelled(), CampaignCancelled);
 }
 
+TEST(SupervisorTest, DeadlineBoundaryCancellationJournalsExactlyOneRecord) {
+  // The nastiest watchdog interleaving, made deterministic: the item spins
+  // until the watchdog flags its token at the soft deadline, then finishes
+  // successfully anyway -- completion and cancellation land at the same
+  // boundary. The soft-deadline contract says the computed result wins, and
+  // the journal must hold one record -- and only one -- for the item (no
+  // kFailed ghost from the kill path racing the kOk from the worker). Run
+  // under TSan in CI's campaign job, this also proves the token handoff
+  // between watchdog and worker is race-free.
+  const std::string path = testing::TempDir() + "/deadline_boundary_journal.jsonl";
+  const JournalHeader header{7, 1, "deadline-boundary"};
+  {
+    auto writer = JournalWriter::create(path, header);
+    ASSERT_TRUE(writer.is_ok()) << writer.status().message();
+    SupervisorOptions options = base_options(2);
+    options.soft_deadline_s = 0.03;  // watchdog polls every 15ms
+    options.journal = &writer.value();
+    const CampaignReport report = Supervisor(options).run(
+        1, [](std::size_t index, Rng& rng, const CancelToken& token) {
+          while (!token.cancelled())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return plain_row(index, rng);  // finish exactly at the boundary
+        });
+    ASSERT_TRUE(report.all_completed());
+    ASSERT_TRUE(report.journal_error.empty()) << report.journal_error;
+    EXPECT_EQ(report.items[0].state, ItemOutcome::State::kOk);
+    EXPECT_EQ(report.items[0].attempts, 1u);
+    EXPECT_EQ(report.retried, 0u);
+    // The kill never charged: the result arrived, so it is not a deadline loss.
+    EXPECT_EQ(report.deadline_kills, 0u);
+  }
+
+  const Expected<LoadedJournal> loaded = load_journal(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  ASSERT_EQ(loaded.value().records.size(), 1u);
+  EXPECT_EQ(loaded.value().records[0].index, 0u);
+  EXPECT_EQ(loaded.value().records[0].attempt, 1u);
+  EXPECT_EQ(loaded.value().records[0].kind, JournalRecord::Kind::kOk);
+  EXPECT_EQ(loaded.value().duplicate_records, 0u);
+
+  // Determinism across the cancellation: the payload equals an undisturbed
+  // single-item run with the same seed.
+  const CampaignReport undisturbed = Supervisor(base_options(1)).run(
+      1, [](std::size_t i, Rng& rng, const CancelToken&) { return plain_row(i, rng); });
+  EXPECT_EQ(loaded.value().records[0].payload, undisturbed.items[0].payload);
+  std::remove(path.c_str());
+}
+
 TEST(SupervisorTest, ZeroItemsIsACompletedCampaign) {
   const CampaignReport report = Supervisor(base_options(4)).run(
       0, [](std::size_t, Rng&, const CancelToken&) { return std::string("unreached"); });

@@ -1,0 +1,20 @@
+// Concurrency idioms the new rules must NOT flag.
+#include <mutex>
+
+struct Gate {
+  void open() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;  // not annotated: lock-discipline has no opinion
+  }
+
+  std::mutex mutex_;
+  bool open_ = false;
+};
+
+void pump(std::mutex& m, int& shared) {
+  std::unique_lock<std::mutex> lock(m);
+  shared += 1;
+  lock.unlock();  // ok: mid-scope toggle on a tracked RAII guard
+  lock.lock();
+  shared += 1;
+}

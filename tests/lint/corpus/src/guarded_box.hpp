@@ -1,0 +1,21 @@
+// Cross-file half of the lock-discipline fixture: the guarded member is
+// declared here; guarded_box_bad.cpp violates it through include resolution.
+#pragma once
+
+#include <vector>
+
+#include "support/thread_annotations.hpp"
+
+namespace corpus {
+
+class GuardedBox {
+ public:
+  void put(int v);
+  void drain_unlocked();
+
+ private:
+  rbs::Mutex mutex_;
+  std::vector<int> items_ RBS_GUARDED_BY(mutex_);
+};
+
+}  // namespace corpus

@@ -1,0 +1,16 @@
+// Cross-file lock-discipline fixture: the RBS_GUARDED_BY declaration lives
+// in guarded_box.hpp; the analyzer must resolve the quoted include.
+#include "guarded_box.hpp"
+
+namespace corpus {
+
+void GuardedBox::put(int v) {
+  const rbs::LockGuard lock(mutex_);
+  items_.push_back(v);  // ok
+}
+
+void GuardedBox::drain_unlocked() {
+  items_.clear();  // violation: guarded member from the header, no guard live
+}
+
+}  // namespace corpus

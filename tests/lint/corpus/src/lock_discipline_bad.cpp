@@ -1,0 +1,27 @@
+// lock-discipline fixture: guarded members touched without a live guard.
+#include "support/thread_annotations.hpp"
+
+#include <deque>
+
+class Account {
+ public:
+  void deposit(int amount) {
+    const rbs::LockGuard lock(mutex_);
+    balance_ += amount;  // ok: guard on mutex_ is live
+  }
+
+  void audit() {
+    history_.push_back(0);  // violation: no guard live
+    last_seen_ = balance_;  // violation: balance_ read unguarded (last_seen_ is not annotated)
+  }
+
+  void reconcile() RBS_REQUIRES(mutex_) {
+    balance_ = 0;  // ok: caller must hold mutex_
+  }
+
+ private:
+  rbs::Mutex mutex_;
+  int balance_ RBS_GUARDED_BY(mutex_) = 0;
+  std::deque<int> history_ RBS_GUARDED_BY(mutex_);
+  int last_seen_ = 0;
+};

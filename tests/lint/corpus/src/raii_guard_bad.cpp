@@ -1,0 +1,20 @@
+// raii-guard fixture: manual lock management vs the RAII idiom.
+#include <mutex>
+
+class Counter {
+ public:
+  void bump_bad() {
+    mutex_.lock();  // violation: an early return would leak the lock
+    ++count_;
+    mutex_.unlock();  // violation
+  }
+
+  void bump_ok() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;
+};

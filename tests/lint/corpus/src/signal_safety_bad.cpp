@@ -1,0 +1,29 @@
+// signal-safety fixture: a registered handler reaching unsafe calls, and a
+// clean lock-free one that must stay silent.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+namespace {
+
+std::atomic<bool> g_flag{false};
+std::atomic<int> g_count{0};
+
+void note_progress() {
+  std::printf("tick\n");  // violation: stdio reachable from handler_bad
+}
+
+void handler_bad(int) {
+  g_flag.store(true);  // ok: lock-free atomic
+  note_progress();
+  throw 1;  // violation: exceptions are never async-signal-safe
+}
+
+void handler_ok(int) { g_count.fetch_add(1); }
+
+void install() {
+  std::signal(SIGINT, handler_bad);
+  std::signal(SIGTERM, handler_ok);
+}
+
+}  // namespace

@@ -1,0 +1,38 @@
+// unchecked-expected fixture: payloads consumed before any ok-ness test.
+#include <string>
+
+#include "support/status.hpp"
+
+using rbs::Expected;
+using rbs::Status;
+
+Expected<int> parse_speed(const std::string& text);
+Status validate(double speed);
+void log_status(const Status& status);
+
+int use_unchecked(const std::string& text) {
+  const Expected<int> speed = parse_speed(text);
+  return speed.value();  // violation: never tested
+}
+
+std::string message_unchecked() {
+  const Status status = validate(1.5);
+  return status.message();  // violation: never tested
+}
+
+int use_checked(const std::string& text) {
+  const Expected<int> speed = parse_speed(text);
+  if (!speed) return -1;
+  return speed.value();  // ok: negation above is a check
+}
+
+int use_ternary(const std::string& text) {
+  const Expected<int> speed = parse_speed(text);
+  return speed ? speed.value() : -1;  // ok: ternary tests it
+}
+
+int use_delegated(const std::string& text) {
+  const Expected<int> speed = parse_speed(text);
+  log_status(speed.status());  // delegation counts as a check
+  return speed.value();        // ok
+}

@@ -1,0 +1,111 @@
+// The dual-gate contract for the campaign layer's lock annotations: deleting
+// a LockGuard from the real src/campaign/pool.cpp must be caught by BOTH
+// analyzers -- rbs_lint's lock-discipline rule (always available) and Clang's
+// -Werror=thread-safety (exercised when a clang++ is on PATH, skipped
+// otherwise; CI runs it in the clang-thread-safety job).
+#include "rbs_lint/lint.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rbs::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::string kSourceDir = RBS_SOURCE_DIR;
+const std::string kDroppedGuard = "const LockGuard lock(mutex_);";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+  out << text;
+}
+
+/// Copies pool.{hpp,cpp} + the annotation header into a scratch tree rooted
+/// at `root`, with the first LockGuard in pool.cpp deleted when `mutate`.
+void stage_pool_tree(const fs::path& root, bool mutate) {
+  const fs::path src = fs::path(kSourceDir) / "src";
+  std::string pool_cpp = read_file(src / "campaign/pool.cpp");
+  if (mutate) {
+    const std::size_t at = pool_cpp.find(kDroppedGuard);
+    ASSERT_NE(at, std::string::npos)
+        << "pool.cpp no longer contains `" << kDroppedGuard
+        << "`; update the gate test's mutation";
+    pool_cpp.erase(at, kDroppedGuard.size());
+  }
+  write_file(root / "src/campaign/pool.cpp", pool_cpp);
+  write_file(root / "src/campaign/pool.hpp", read_file(src / "campaign/pool.hpp"));
+  write_file(root / "src/support/thread_annotations.hpp",
+             read_file(src / "support/thread_annotations.hpp"));
+}
+
+std::vector<Diagnostic> lint_pool(const fs::path& root) {
+  Options options;
+  options.rules = {"lock-discipline"};
+  return lint_paths({(root / "src/campaign/pool.cpp").string()}, options);
+}
+
+TEST(ThreadSafetyGateTest, RbsLintCatchesDroppedLockGuard) {
+  const fs::path root = fs::path(::testing::TempDir()) / "rbs_gate_lint";
+  fs::remove_all(root);
+  stage_pool_tree(root, /*mutate=*/true);
+  const std::vector<Diagnostic> diags = lint_pool(root);
+  ASSERT_FALSE(diags.empty())
+      << "rbs_lint did not flag pool.cpp with its LockGuard deleted";
+  EXPECT_EQ(diags[0].rule, "lock-discipline") << format(diags[0]);
+  fs::remove_all(root);
+}
+
+TEST(ThreadSafetyGateTest, RbsLintAcceptsPristinePool) {
+  const fs::path root = fs::path(::testing::TempDir()) / "rbs_gate_lint_ok";
+  fs::remove_all(root);
+  stage_pool_tree(root, /*mutate=*/false);
+  for (const Diagnostic& d : lint_pool(root)) ADD_FAILURE() << format(d);
+  fs::remove_all(root);
+}
+
+bool clang_available() {
+  return std::system("clang++ --version > /dev/null 2>&1") == 0;
+}
+
+int clang_syntax_check(const fs::path& root) {
+  const std::string cmd = "clang++ -fsyntax-only -std=c++20 -I \"" +
+                          (root / "src").string() + "\" -Wthread-safety "
+                          "-Werror=thread-safety \"" +
+                          (root / "src/campaign/pool.cpp").string() +
+                          "\" > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+TEST(ThreadSafetyGateTest, ClangCatchesDroppedLockGuard) {
+  if (!clang_available()) GTEST_SKIP() << "clang++ not on PATH";
+  const fs::path root = fs::path(::testing::TempDir()) / "rbs_gate_clang";
+  fs::remove_all(root);
+  stage_pool_tree(root, /*mutate=*/false);
+  EXPECT_EQ(clang_syntax_check(root), 0)
+      << "pristine pool.cpp should compile clean under -Werror=thread-safety";
+  stage_pool_tree(root, /*mutate=*/true);
+  EXPECT_NE(clang_syntax_check(root), 0)
+      << "clang -Werror=thread-safety did not reject pool.cpp with its "
+         "LockGuard deleted";
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace rbs::lint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,255 +10,12 @@
 #include <set>
 #include <sstream>
 
+#include "rbs_lint/semantic.hpp"
+#include "rbs_lint/token.hpp"
+
 namespace rbs::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer: a C++-shaped lexer, just faithful enough for the rules. Strings,
-// character literals and comments never leak tokens; preprocessor directives
-// surface as structured Include/Pragma tokens; pp-numbers follow the standard
-// grammar (digit separators, exponents with signs, hex floats).
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kPunct, kInclude, kPragma };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Lexed {
-  std::vector<Token> tokens;
-  /// Comment text by starting line, for suppression scanning.
-  std::map<int, std::string> comments;
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
-
-class Lexer {
- public:
-  explicit Lexer(const std::string& text) : text_(text) {}
-
-  Lexed run() {
-    bool line_has_token = false;  // only a '#' first on its line starts a directive
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-        line_has_token = false;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
-        continue;
-      }
-      if (c == '/' && peek(1) == '/') {
-        line_comment();
-        continue;
-      }
-      if (c == '/' && peek(1) == '*') {
-        block_comment();
-        continue;
-      }
-      if (c == '#' && !line_has_token) {
-        directive();
-        line_has_token = true;
-        continue;
-      }
-      line_has_token = true;
-      if (c == '"') {
-        string_literal();
-        continue;
-      }
-      if (c == '\'') {
-        char_literal();
-        continue;
-      }
-      if (digit(c) || (c == '.' && digit(peek(1)))) {
-        number();
-        continue;
-      }
-      if (ident_start(c)) {
-        identifier();
-        continue;
-      }
-      punct();
-    }
-    return std::move(out_);
-  }
-
- private:
-  char peek(std::size_t ahead) const {
-    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
-  }
-
-  void add(TokKind kind, std::string text, int line) {
-    out_.tokens.push_back({kind, std::move(text), line});
-  }
-
-  void line_comment() {
-    const int start = line_;
-    std::size_t end = text_.find('\n', pos_);
-    if (end == std::string::npos) end = text_.size();
-    out_.comments[start] += text_.substr(pos_, end - pos_);
-    pos_ = end;
-  }
-
-  void block_comment() {
-    const int start = line_;
-    pos_ += 2;
-    std::string body;
-    while (pos_ < text_.size() && !(text_[pos_] == '*' && peek(1) == '/')) {
-      if (text_[pos_] == '\n') ++line_;
-      body += text_[pos_++];
-    }
-    pos_ = std::min(pos_ + 2, text_.size());
-    out_.comments[start] += body;
-  }
-
-  void skip_to_eol_with_continuations() {
-    while (pos_ < text_.size()) {
-      if (text_[pos_] == '\\' && peek(1) == '\n') {
-        ++line_;
-        pos_ += 2;
-        continue;
-      }
-      if (text_[pos_] == '\n') return;  // newline handled by the main loop
-      if (text_[pos_] == '/' && peek(1) == '/') {
-        line_comment();
-        return;
-      }
-      ++pos_;
-    }
-  }
-
-  void directive() {
-    const int start = line_;
-    ++pos_;  // '#'
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
-    std::string name;
-    while (pos_ < text_.size() && ident_char(text_[pos_])) name += text_[pos_++];
-    if (name == "include") {
-      while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
-      const char open = pos_ < text_.size() ? text_[pos_] : '\0';
-      const char close = open == '<' ? '>' : '"';
-      if (open == '<' || open == '"') {
-        std::string target(1, open);
-        ++pos_;
-        while (pos_ < text_.size() && text_[pos_] != close && text_[pos_] != '\n')
-          target += text_[pos_++];
-        if (pos_ < text_.size() && text_[pos_] == close) {
-          target += close;
-          ++pos_;
-        }
-        add(TokKind::kInclude, target, start);
-      }
-    } else if (name == "pragma") {
-      while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
-      std::string body;
-      while (pos_ < text_.size() && text_[pos_] != '\n') body += text_[pos_++];
-      while (!body.empty() && std::isspace(static_cast<unsigned char>(body.back())))
-        body.pop_back();
-      add(TokKind::kPragma, body, start);
-    }
-    // Macro bodies (#define and friends) are deliberately not tokenized.
-    skip_to_eol_with_continuations();
-  }
-
-  void string_literal() {
-    // Raw string? The prefix identifier (R, u8R, ...) was already emitted; it
-    // is harmless. Detect rawness from that previous token.
-    bool raw = false;
-    if (!out_.tokens.empty() && out_.tokens.back().kind == TokKind::kIdent) {
-      const std::string& prev = out_.tokens.back().text;
-      if (!prev.empty() && prev.back() == 'R' &&
-          (prev == "R" || prev == "u8R" || prev == "uR" || prev == "LR")) {
-        raw = true;
-        out_.tokens.pop_back();
-      }
-    }
-    ++pos_;  // opening quote
-    if (raw) {
-      std::string delim;
-      while (pos_ < text_.size() && text_[pos_] != '(') delim += text_[pos_++];
-      const std::string terminator = ")" + delim + "\"";
-      const std::size_t end = text_.find(terminator, pos_);
-      const std::size_t stop = end == std::string::npos ? text_.size() : end + terminator.size();
-      line_ += static_cast<int>(std::count(text_.begin() + static_cast<long>(pos_),
-                                           text_.begin() + static_cast<long>(stop), '\n'));
-      pos_ = stop;
-      return;
-    }
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
-      if (text_[pos_] == '\n') ++line_;
-      ++pos_;
-    }
-    if (pos_ < text_.size()) ++pos_;
-  }
-
-  void char_literal() {
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '\'') {
-      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
-      if (text_[pos_] == '\n') return;  // stray quote; bail at EOL
-      ++pos_;
-    }
-    if (pos_ < text_.size()) ++pos_;
-  }
-
-  void number() {
-    const int start = line_;
-    std::string body;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (ident_char(c) || c == '.' || c == '\'') {
-        body += c;
-        ++pos_;
-        continue;
-      }
-      if ((c == '+' || c == '-') && !body.empty() &&
-          (body.back() == 'e' || body.back() == 'E' || body.back() == 'p' ||
-           body.back() == 'P')) {
-        body += c;
-        ++pos_;
-        continue;
-      }
-      break;
-    }
-    add(TokKind::kNumber, body, start);
-  }
-
-  void identifier() {
-    const int start = line_;
-    std::string body;
-    while (pos_ < text_.size() && ident_char(text_[pos_])) body += text_[pos_++];
-    add(TokKind::kIdent, body, start);
-  }
-
-  void punct() {
-    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "::", "[[", "]]"};
-    for (const char* two : kTwoChar) {
-      if (text_[pos_] == two[0] && peek(1) == two[1]) {
-        add(TokKind::kPunct, two, line_);
-        pos_ += 2;
-        return;
-      }
-    }
-    add(TokKind::kPunct, std::string(1, text_[pos_]), line_);
-    ++pos_;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  Lexed out_;
-};
 
 // ---------------------------------------------------------------------------
 // Shared predicates
@@ -305,12 +63,29 @@ constexpr const char* kRuleEpsilon = "epsilon-literal";
 constexpr const char* kRuleNodiscard = "nodiscard";
 constexpr const char* kRuleNondet = "nondet";
 constexpr const char* kRuleInclude = "include-hygiene";
+constexpr const char* kRuleLockDiscipline = "lock-discipline";
+constexpr const char* kRuleUncheckedExpected = "unchecked-expected";
+constexpr const char* kRuleSignalSafety = "signal-safety";
+constexpr const char* kRuleRaiiGuard = "raii-guard";
 
 class Checker {
  public:
-  Checker(const std::string& path, const Lexed& lexed, const Options& options)
-      : path_(path), lexed_(lexed) {
+  Checker(const std::string& path, const Lexed& lexed, const Options& options,
+          const std::vector<std::string>& extra_guarded)
+      : path_(path), lexed_(lexed), index_(build_index(lexed.tokens)) {
     for (const std::string& r : options.rules) enabled_.insert(r);
+    for (const std::string& fact : extra_guarded) {
+      // "class|member|mutex" facts harvested from resolved includes.
+      const std::size_t a = fact.find('|');
+      const std::size_t b = fact.find('|', a == std::string::npos ? 0 : a + 1);
+      if (a == std::string::npos || b == std::string::npos) continue;
+      GuardedMember member;
+      member.class_name = fact.substr(0, a);
+      member.name = fact.substr(a + 1, b - a - 1);
+      member.mutex = fact.substr(b + 1);
+      if (index_.find_guarded(member.name) == nullptr)
+        index_.guarded.push_back(std::move(member));
+    }
     collect_suppressions();
   }
 
@@ -320,6 +95,10 @@ class Checker {
     check_nodiscard();
     check_nondeterminism();
     check_include_hygiene();
+    check_lock_discipline();
+    check_unchecked_expected();
+    check_signal_safety();
+    check_raii_guard();
     std::sort(diags_.begin(), diags_.end(), [](const Diagnostic& a, const Diagnostic& b) {
       if (a.line != b.line) return a.line < b.line;
       return a.rule < b.rule;
@@ -365,6 +144,16 @@ class Checker {
   }
 
   const std::vector<Token>& toks() const { return lexed_.tokens; }
+
+  bool is_punct_at(std::size_t i, const char* s) const {
+    const auto& t = toks();
+    return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+  }
+
+  bool is_ident_at(std::size_t i, const char* s) const {
+    const auto& t = toks();
+    return i < t.size() && t[i].kind == TokKind::kIdent && t[i].text == s;
+  }
 
   // --- float-eq ------------------------------------------------------------
   void check_float_eq() {
@@ -536,8 +325,250 @@ class Checker {
       report(kRuleInclude, 1, "header is missing #pragma once");
   }
 
+  // --- lock-discipline -----------------------------------------------------
+  // Every touch of a member annotated RBS_GUARDED_BY(m) must happen while an
+  // RAII guard on m is live in an enclosing scope, or inside a function whose
+  // definition is annotated RBS_REQUIRES(m) / RBS_ACQUIRE(m) / RBS_RELEASE(m).
+  void check_lock_discipline() {
+    if (index_.guarded.empty()) return;
+    const auto& t = toks();
+    for (const FunctionInfo& fn : index_.functions) {
+      if (fn.no_analysis || fn.body_end <= fn.body_begin) continue;
+      GuardTracker tracker;
+      int depth = 1;
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& tok = t[i];
+        if (tok.kind == TokKind::kPunct) {
+          if (tok.text == "{") ++depth;
+          if (tok.text == "}") tracker.close_scope(--depth);
+          continue;
+        }
+        if (tok.kind != TokKind::kIdent) continue;
+        tracker.observe(t, i, depth);
+        const GuardedMember* g = index_.find_guarded(tok.text);
+        if (g == nullptr) continue;
+        // Declaration sites (`T member RBS_GUARDED_BY(m);` in a local struct)
+        // and qualified type names are not accesses.
+        if (is_ident_at(i + 1, "RBS_GUARDED_BY") || is_ident_at(i + 1, "RBS_PT_GUARDED_BY"))
+          continue;
+        if (i > 0 && is_punct_at(i - 1, "::")) continue;
+        const bool qualified =
+            i > 0 && (is_punct_at(i - 1, ".") || is_punct_at(i - 1, "->"));
+        // A bare identifier only refers to the member from inside the
+        // declaring class's own member functions.
+        if (!qualified && fn.class_name != g->class_name) continue;
+        const bool annotated =
+            std::find(fn.held_mutexes.begin(), fn.held_mutexes.end(), g->mutex) !=
+            fn.held_mutexes.end();
+        if (annotated || tracker.holds(g->mutex)) continue;
+        report(kRuleLockDiscipline, tok.line,
+               "`" + g->class_name + "::" + g->name + "` is RBS_GUARDED_BY(" + g->mutex +
+                   ") but no guard on `" + g->mutex +
+                   "` is live here; hold a LockGuard/UniqueLock or annotate the "
+                   "function RBS_REQUIRES(" +
+                   g->mutex + ")");
+      }
+    }
+  }
+
+  // --- unchecked-expected --------------------------------------------------
+  // An Expected<T>/Status local consumed through its payload (.value() /
+  // .message()) with no ok-ness test earlier on the (textual) path. The model
+  // is linear, not branch-aware: any earlier `!e`, `e.is_ok()`,
+  // `e.has_value()`, `if (e)` or `e ? ...` counts as a check.
+  void check_unchecked_expected() {
+    const auto& t = toks();
+    for (const FunctionInfo& fn : index_.functions) {
+      if (fn.body_end <= fn.body_begin) continue;
+      struct Local {
+        bool is_expected = false;  // false: Status
+        bool checked = false;
+      };
+      std::map<std::string, Local> locals;
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& tok = t[i];
+        if (tok.kind != TokKind::kIdent) continue;
+        // Declarations: `Expected<T> var ...` / `Status var ...`.
+        if (tok.text == "Expected" && is_punct_at(i + 1, "<")) {
+          int angle = 0;
+          std::size_t j = i + 1;
+          for (; j < t.size(); ++j) {
+            if (is_punct_at(j, "<")) ++angle;
+            if (is_punct_at(j, ">") && --angle == 0) break;
+          }
+          if (j + 1 < t.size() && t[j + 1].kind == TokKind::kIdent)
+            locals[t[j + 1].text] = {true, false};
+          continue;
+        }
+        if (tok.text == "Status" && i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+            t[i + 1].text != "error" && !(i > 0 && is_punct_at(i - 1, "::"))) {
+          locals[t[i + 1].text] = {false, false};
+          continue;
+        }
+        auto it = locals.find(tok.text);
+        if (it == locals.end()) continue;
+        Local& local = it->second;
+        const char* payload = local.is_expected ? "value" : "message";
+        // Consumption: `var.value()` / `std::move(var).value()`.
+        const bool direct_consume = is_punct_at(i + 1, ".") &&
+                                    is_ident_at(i + 2, payload) && is_punct_at(i + 3, "(");
+        const bool moved_consume = i >= 2 && is_punct_at(i - 1, "(") &&
+                                   is_ident_at(i - 2, "move") && is_punct_at(i + 1, ")") &&
+                                   is_punct_at(i + 2, ".") && is_ident_at(i + 3, payload);
+        if (direct_consume || moved_consume) {
+          if (!local.checked) {
+            report(kRuleUncheckedExpected, tok.line,
+                   std::string("`") + tok.text + "." + payload + "()` consumes " +
+                       (local.is_expected ? "an Expected" : "a Status") +
+                       " that was never tested; check ok()/has_value() (or `if (" +
+                       tok.text + ")`) first");
+            local.checked = true;  // one report per unchecked local
+          }
+          continue;
+        }
+        // Checks.
+        const bool negated = i > 0 && is_punct_at(i - 1, "!");
+        // .status()/.error_message() hand the error channel to someone else;
+        // that delegation counts as a check in this linear model.
+        const bool method_check =
+            is_punct_at(i + 1, ".") &&
+            (is_ident_at(i + 2, "is_ok") || is_ident_at(i + 2, "has_value") ||
+             is_ident_at(i + 2, "ok") || is_ident_at(i + 2, "status") ||
+             is_ident_at(i + 2, "error_message"));
+        const bool ternary = is_punct_at(i + 1, "?");
+        const bool bool_context =
+            i > 0 &&
+            (is_punct_at(i - 1, "(") || is_punct_at(i - 1, "&&") || is_punct_at(i - 1, "||")) &&
+            (is_punct_at(i + 1, ")") || is_punct_at(i + 1, "&&") || is_punct_at(i + 1, "||") ||
+             is_punct_at(i + 1, "?"));
+        if (negated || method_check || ternary || bool_context) local.checked = true;
+      }
+    }
+  }
+
+  // --- signal-safety -------------------------------------------------------
+  // Functions reachable from a registered signal handler may only perform
+  // async-signal-safe work: lock-free atomics, a short allowlist of POSIX
+  // calls, and calls to other local functions (which are checked in turn).
+  // Locks, allocation, stdio and exceptions are flagged.
+  void check_signal_safety() {
+    const auto& t = toks();
+    if (index_.functions.empty()) return;
+    std::map<std::string, std::vector<std::size_t>> by_name;
+    for (std::size_t f = 0; f < index_.functions.size(); ++f)
+      by_name[index_.functions[f].name].push_back(f);
+
+    // Roots: function names passed to signal()/sigaction().
+    std::map<std::size_t, std::string> root_of;  // function index -> handler name
+    std::vector<std::size_t> queue;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          (t[i].text != "signal" && t[i].text != "sigaction"))
+        continue;
+      if (!is_punct_at(i + 1, "(")) continue;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (is_punct_at(j, "(")) ++depth;
+        if (is_punct_at(j, ")") && --depth == 0) break;
+        if (t[j].kind != TokKind::kIdent) continue;
+        auto hit = by_name.find(t[j].text);
+        if (hit == by_name.end()) continue;
+        for (std::size_t f : hit->second)
+          if (root_of.emplace(f, t[j].text).second) queue.push_back(f);
+      }
+    }
+    // Reachability through the same-file call graph.
+    while (!queue.empty()) {
+      const std::size_t f = queue.back();
+      queue.pop_back();
+      const FunctionInfo& fn = index_.functions[f];
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        if (t[i].kind != TokKind::kIdent || !is_punct_at(i + 1, "(")) continue;
+        auto hit = by_name.find(t[i].text);
+        if (hit == by_name.end()) continue;
+        for (std::size_t callee : hit->second)
+          if (root_of.emplace(callee, root_of[f]).second) queue.push_back(callee);
+      }
+    }
+
+    static const std::set<std::string> kMemberAllow = {
+        "store", "load", "exchange", "compare_exchange_weak", "compare_exchange_strong",
+        "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+        "test_and_set", "clear", "test", "count_down"};
+    static const std::set<std::string> kFreeAllow = {
+        "_exit", "_Exit", "abort", "raise", "kill", "signal", "sigaction",
+        "sigemptyset", "sigfillset", "sigaddset", "sigdelset", "sigprocmask",
+        "write", "read", "close", "fsync"};
+    static const std::set<std::string> kControl = {"if",     "while",  "for",   "switch",
+                                                   "catch",  "sizeof", "alignof", "return",
+                                                   "decltype", "noexcept"};
+    for (const auto& [f, handler] : root_of) {
+      const FunctionInfo& fn = index_.functions[f];
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& tok = t[i];
+        if (tok.kind != TokKind::kIdent) continue;
+        if (tok.text == "throw" || tok.text == "new" || tok.text == "delete") {
+          report(kRuleSignalSafety, tok.line,
+                 "`" + tok.text + "` in `" + fn.name + "`, reachable from signal handler `" +
+                     handler + "`; handlers must stay async-signal-safe");
+          continue;
+        }
+        if (!is_punct_at(i + 1, "(")) continue;
+        if (kControl.count(tok.text) > 0) continue;
+        const bool member = i > 0 && (is_punct_at(i - 1, ".") || is_punct_at(i - 1, "->"));
+        if (member) {
+          if (kMemberAllow.count(tok.text) == 0)
+            report(kRuleSignalSafety, tok.line,
+                   "member call `." + tok.text + "()` in `" + fn.name +
+                       "`, reachable from signal handler `" + handler +
+                       "`; only lock-free atomics are async-signal-safe");
+          continue;
+        }
+        if (by_name.count(tok.text) > 0) continue;  // checked via reachability
+        if (kFreeAllow.count(tok.text) > 0) continue;
+        report(kRuleSignalSafety, tok.line,
+               "call to `" + tok.text + "` in `" + fn.name +
+                   "`, reachable from signal handler `" + handler +
+                   "`; not on the async-signal-safe allowlist");
+      }
+    }
+  }
+
+  // --- raii-guard ----------------------------------------------------------
+  // Bare `.lock()` / `.unlock()` / `.try_lock()` on anything that is not a
+  // tracked RAII guard variable: manual lock management loses the guarantee
+  // that every exit path releases the mutex.
+  void check_raii_guard() {
+    const auto& t = toks();
+    for (const FunctionInfo& fn : index_.functions) {
+      if (fn.body_end <= fn.body_begin) continue;
+      GuardTracker tracker;
+      int depth = 1;
+      for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& tok = t[i];
+        if (tok.kind == TokKind::kPunct) {
+          if (tok.text == "{") ++depth;
+          if (tok.text == "}") tracker.close_scope(--depth);
+          continue;
+        }
+        if (tok.kind != TokKind::kIdent) continue;
+        tracker.observe(t, i, depth);
+        if (!(is_punct_at(i + 1, ".") || is_punct_at(i + 1, "->"))) continue;
+        if (!(is_ident_at(i + 2, "lock") || is_ident_at(i + 2, "unlock") ||
+              is_ident_at(i + 2, "try_lock")))
+          continue;
+        if (!is_punct_at(i + 3, "(")) continue;
+        if (tracker.is_guard_var(tok.text)) continue;
+        report(kRuleRaiiGuard, t[i + 2].line,
+               "bare `" + tok.text + "." + t[i + 2].text +
+                   "()`; use LockGuard/UniqueLock so every exit path releases the mutex");
+      }
+    }
+  }
+
   std::string path_;
   const Lexed& lexed_;
+  FileIndex index_;
   std::set<std::string> enabled_;
   std::map<int, std::set<std::string>> suppressions_;
   std::vector<Diagnostic> diags_;
@@ -548,39 +579,103 @@ bool lintable_extension(const std::filesystem::path& p) {
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
 }
 
-bool excluded(const std::string& path, const Options& options) {
-  for (const std::string& fragment : options.excludes)
+bool excluded(const std::string& path, const std::vector<std::string>& excludes) {
+  for (const std::string& fragment : excludes)
     if (path.find(fragment) != std::string::npos) return true;
   return false;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
+std::vector<RuleInfo> all_rules() {
+  return {
+      {kRuleFloatEq,
+       "no raw ==/!= against floating-point literals; use support/tolerance.hpp"},
+      {kRuleEpsilon,
+       "no inline comparison-epsilon literals (|v| < 1e-5) outside support/tolerance.hpp"},
+      {kRuleNodiscard,
+       "header declarations returning Status/Expected must be [[nodiscard]]"},
+      {kRuleNondet,
+       "no wall-clock or unseeded randomness in src/; raw engines only in gen/rng.hpp"},
+      {kRuleInclude,
+       "#pragma once in headers, no <bits/stdc++.h>, no duplicate includes, "
+       "no using-namespace in headers"},
+      {kRuleLockDiscipline,
+       "RBS_GUARDED_BY members only touched under a live guard on their mutex "
+       "or inside an RBS_REQUIRES function"},
+      {kRuleUncheckedExpected,
+       "Expected<T>/Status locals must pass an ok()/has_value() test before "
+       ".value()/.message() is consumed"},
+      {kRuleSignalSafety,
+       "functions reachable from registered signal handlers restricted to the "
+       "async-signal-safe allowlist"},
+      {kRuleRaiiGuard,
+       "no bare mutex .lock()/.unlock(); locking goes through LockGuard/UniqueLock"},
+  };
+}
+
 std::vector<std::string> all_rule_names() {
-  return {kRuleFloatEq, kRuleEpsilon, kRuleNodiscard, kRuleNondet, kRuleInclude};
+  std::vector<std::string> names;
+  for (const RuleInfo& rule : all_rules()) names.push_back(rule.name);
+  return names;
+}
+
+std::string normalize_path(const std::string& path) {
+  if (path.empty()) return path;
+  std::string normal = std::filesystem::path(path).lexically_normal().generic_string();
+  // lexically_normal turns "./" into "."; a lone dot is only useful as-is.
+  if (normal.size() > 2 && normal.rfind("./", 0) == 0) normal = normal.substr(2);
+  return normal;
 }
 
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& text,
-                                    const Options& options) {
-  const Lexed lexed = Lexer(text).run();
-  return Checker(path, lexed, options).run();
+                                    const Options& options,
+                                    const std::vector<std::string>& extra_guarded) {
+  const Lexed lexed = lex(text);
+  return Checker(path, lexed, options, extra_guarded).run();
 }
 
 std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
                                    const Options& options) {
   namespace fs = std::filesystem;
+  std::vector<std::string> excludes;
+  for (const std::string& fragment : options.excludes)
+    excludes.push_back(normalize_path(fragment));
   std::vector<std::string> files;
   std::vector<Diagnostic> diags;
-  for (const std::string& root : paths) {
+  for (const std::string& raw_root : paths) {
+    const std::string root = normalize_path(raw_root);
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
       for (fs::recursive_directory_iterator it(root, ec), end; it != end; it.increment(ec)) {
         if (ec) break;
         if (it->is_regular_file() && lintable_extension(it->path()))
-          files.push_back(it->path().generic_string());
+          files.push_back(normalize_path(it->path().generic_string()));
       }
     } else if (fs::is_regular_file(root, ec)) {
-      files.push_back(fs::path(root).generic_string());
+      files.push_back(normalize_path(fs::path(root).generic_string()));
     } else {
       diags.push_back({root, 0, "io-error", "no such file or directory"});
     }
@@ -588,8 +683,28 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Guarded-member facts per header, harvested on demand when a lintable file
+  // quotes it, so lock-discipline in foo.cpp sees RBS_GUARDED_BY declarations
+  // from foo.hpp.
+  std::map<std::string, std::vector<std::string>> header_facts;
+  const auto facts_for = [&header_facts](const std::string& header) {
+    auto it = header_facts.find(header);
+    if (it != header_facts.end()) return it->second;
+    std::vector<std::string> facts;
+    std::ifstream in(header, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const Lexed lexed = lex(buffer.str());
+      for (const GuardedMember& g : build_index(lexed.tokens).guarded)
+        facts.push_back(g.class_name + "|" + g.name + "|" + g.mutex);
+    }
+    header_facts.emplace(header, facts);
+    return facts;
+  };
+
   for (const std::string& file : files) {
-    if (excluded(file, options)) continue;
+    if (excluded(file, excludes)) continue;
     std::ifstream in(file, std::ios::binary);
     if (!in) {
       diags.push_back({file, 0, "io-error", "cannot open file"});
@@ -597,7 +712,31 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    std::vector<Diagnostic> file_diags = lint_source(file, buffer.str(), options);
+    const std::string text = buffer.str();
+
+    // Resolve quoted includes against the file's directory and its ancestors
+    // (the tree compiles with -I src -I tools style include roots).
+    std::vector<std::string> extra;
+    const Lexed pre = lex(text);
+    for (const Token& tok : pre.tokens) {
+      if (tok.kind != TokKind::kInclude || tok.text.size() < 3 || tok.text.front() != '"')
+        continue;
+      const std::string target = tok.text.substr(1, tok.text.size() - 2);
+      fs::path dir = fs::path(file).parent_path();
+      for (int up = 0; up < 6; ++up) {
+        std::error_code ec;
+        const fs::path candidate = dir / target;
+        if (fs::is_regular_file(candidate, ec)) {
+          for (std::string& fact : facts_for(normalize_path(candidate.generic_string())))
+            extra.push_back(std::move(fact));
+          break;
+        }
+        if (!dir.has_parent_path() || dir.parent_path() == dir) break;
+        dir = dir.parent_path();
+      }
+    }
+
+    std::vector<Diagnostic> file_diags = lint_source(file, text, options, extra);
     diags.insert(diags.end(), file_diags.begin(), file_diags.end());
   }
   std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
@@ -613,6 +752,62 @@ std::string format(const Diagnostic& diagnostic) {
   os << diagnostic.file << ":" << diagnostic.line << ": error: [" << diagnostic.rule << "] "
      << diagnostic.message;
   return os.str();
+}
+
+std::string format_json(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"file\": \"" << json_escape(d.file) << "\", \"line\": " << d.line
+       << ", \"rule\": \"" << json_escape(d.rule) << "\", \"message\": \""
+       << json_escape(d.message) << "\"}";
+  }
+  os << (diagnostics.empty() ? "]\n" : "\n]\n");
+  return os.str();
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::size_t a = line.find('|');
+    const std::size_t b = a == std::string::npos ? a : line.find('|', a + 1);
+    if (a == std::string::npos || b == std::string::npos) continue;
+    BaselineEntry entry;
+    entry.rule = line.substr(first, a - first);
+    entry.path = normalize_path(line.substr(a + 1, b - a - 1));
+    entry.message = line.substr(b + 1);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string to_baseline_line(const Diagnostic& diagnostic) {
+  return diagnostic.rule + "|" + diagnostic.file + "|" + diagnostic.message;
+}
+
+std::size_t apply_baseline(std::vector<Diagnostic>& diagnostics,
+                           const std::vector<BaselineEntry>& baseline) {
+  const auto matches = [](const Diagnostic& d, const BaselineEntry& e) {
+    if (d.rule != e.rule || d.message != e.message) return false;
+    if (d.file == e.path) return true;
+    return path_ends_with(d.file, "/" + e.path);
+  };
+  const std::size_t before = diagnostics.size();
+  diagnostics.erase(std::remove_if(diagnostics.begin(), diagnostics.end(),
+                                   [&](const Diagnostic& d) {
+                                     for (const BaselineEntry& e : baseline)
+                                       if (matches(d, e)) return true;
+                                     return false;
+                                   }),
+                    diagnostics.end());
+  return before - diagnostics.size();
 }
 
 }  // namespace rbs::lint

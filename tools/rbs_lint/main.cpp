@@ -1,10 +1,16 @@
 // CLI driver for rbs_lint. Exit codes: 0 clean, 1 violations, 2 usage/IO.
 //
-//   rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--list-rules] path...
+//   rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--format=text|json]
+//            [--baseline=file] [--write-baseline=file] [--list-rules] path...
 //
-// Paths may be files or directories (recursed for *.hpp/*.cpp/*.h/*.cc).
+// Paths may be files or directories (recursed for *.hpp/*.cpp/*.h/*.cc);
+// positional paths and --exclude fragments are normalized (./ stripped,
+// duplicate separators collapsed) before use. --baseline suppresses
+// grandfathered findings (one `rule|path-suffix|message` per line);
+// --write-baseline emits the current findings in that format and exits 0.
 // Wired into ctest under the label `lint`; see docs/static-analysis.md.
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,8 +21,9 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--list-rules] "
-               "path...\n");
+               "usage: rbs_lint [--rules=a,b,c] [--exclude=fragment]... "
+               "[--format=text|json] [--baseline=file] [--write-baseline=file] "
+               "[--list-rules] path...\n");
 }
 
 std::vector<std::string> split_commas(const std::string& csv) {
@@ -33,12 +40,15 @@ std::vector<std::string> split_commas(const std::string& csv) {
 int main(int argc, char** argv) {
   rbs::lint::Options options;
   std::vector<std::string> paths;
+  std::string format = "text";
+  std::string baseline_path;
+  std::string write_baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
-      for (const std::string& rule : rbs::lint::all_rule_names())
-        std::printf("%s\n", rule.c_str());
+      for (const rbs::lint::RuleInfo& rule : rbs::lint::all_rules())
+        std::printf("%-18s %s\n", rule.name.c_str(), rule.summary.c_str());
       return 0;
     }
     if (arg.rfind("--rules=", 0) == 0) {
@@ -46,29 +56,83 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg.rfind("--exclude=", 0) == 0) {
-      options.excludes.push_back(arg.substr(10));
+      options.excludes.push_back(rbs::lint::normalize_path(arg.substr(10)));
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        usage();
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
       usage();
       return 2;
     }
-    paths.push_back(arg);
+    paths.push_back(rbs::lint::normalize_path(arg));
   }
   if (paths.empty()) {
     usage();
     return 2;
   }
 
-  const std::vector<rbs::lint::Diagnostic> diags = rbs::lint::lint_paths(paths, options);
+  std::vector<rbs::lint::BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "rbs_lint: cannot open baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    baseline = rbs::lint::parse_baseline(buffer.str());
+  }
+
+  std::vector<rbs::lint::Diagnostic> diags = rbs::lint::lint_paths(paths, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "rbs_lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << "# rbs_lint baseline: rule|path-suffix|message per line; '#' comments.\n";
+    for (const rbs::lint::Diagnostic& d : diags)
+      if (d.rule != "io-error") out << rbs::lint::to_baseline_line(d) << "\n";
+    return 0;
+  }
+
+  const std::size_t suppressed = rbs::lint::apply_baseline(diags, baseline);
+
   bool io_error = false;
-  for (const rbs::lint::Diagnostic& d : diags) {
-    std::printf("%s\n", rbs::lint::format(d).c_str());
+  for (const rbs::lint::Diagnostic& d : diags)
     if (d.rule == "io-error") io_error = true;
+
+  if (format == "json") {
+    std::printf("%s", rbs::lint::format_json(diags).c_str());
+  } else {
+    for (const rbs::lint::Diagnostic& d : diags)
+      std::printf("%s\n", rbs::lint::format(d).c_str());
   }
   if (io_error) return 2;
   if (!diags.empty()) {
-    std::fprintf(stderr, "rbs_lint: %zu violation(s)\n", diags.size());
+    if (format == "text") {
+      std::fprintf(stderr, "rbs_lint: %zu violation(s)", diags.size());
+      if (suppressed > 0)
+        std::fprintf(stderr, " (%zu baseline-suppressed)", suppressed);
+      std::fprintf(stderr, "\n");
+    }
     return 1;
   }
   return 0;

@@ -1,0 +1,35 @@
+// Tokenizer for rbs_lint: a C++-shaped lexer, just faithful enough for the
+// rules. Strings, character literals and comments never leak tokens;
+// preprocessor directives surface as structured Include/Pragma tokens;
+// pp-numbers follow the standard grammar (digit separators, exponents with
+// signs, hex floats).
+//
+// Split out of lint.cpp so the semantic layer (semantic.hpp: scope tracking,
+// declaration indexing, per-function dataflow) and the rule engine share one
+// token stream definition.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rbs::lint {
+
+enum class TokKind { kIdent, kNumber, kPunct, kInclude, kPragma };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  /// Comment text by starting line, for suppression scanning.
+  std::map<int, std::string> comments;
+};
+
+/// Lexes one translation unit's text.
+Lexed lex(const std::string& text);
+
+}  // namespace rbs::lint
