@@ -21,6 +21,11 @@
 // `--checkpoint <path>` / `--resume` journal the supervised pass
 // (`<path>.perf.journal`); `--item-deadline S` / `--retries N` set the
 // fault policy.
+//
+// `--json PATH` emits a machine-readable baseline: in benchmark mode it is
+// shorthand for google-benchmark's `--benchmark_out=PATH` with JSON format
+// (the results/BENCH_perf.json artifact); in campaign mode it writes a
+// small throughput summary.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -148,6 +153,31 @@ int run_campaign_mode(const CliArgs& args) {
               serial_s > 0.0 ? static_cast<double>(n_sets) / serial_s : 0.0);
   std::printf("jobs=%u: %.3f s (%.1f sets/s), speedup %.2fx\n", resolved.jobs, parallel_s,
               parallel_s > 0.0 ? static_cast<double>(n_sets) / parallel_s : 0.0, speedup);
+  if (const std::string json_path = args.get_string("json", ""); !json_path.empty()) {
+    if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(json,
+                   "{\n"
+                   "  \"benchmark\": \"bench_perf_campaign\",\n"
+                   "  \"sets\": %zu,\n"
+                   "  \"jobs\": %u,\n"
+                   "  \"serial_seconds\": %.6f,\n"
+                   "  \"parallel_seconds\": %.6f,\n"
+                   "  \"serial_sets_per_sec\": %.2f,\n"
+                   "  \"parallel_sets_per_sec\": %.2f,\n"
+                   "  \"speedup\": %.3f,\n"
+                   "  \"mismatches\": %zu\n"
+                   "}\n",
+                   n_sets, resolved.jobs, serial_s, parallel_s,
+                   serial_s > 0.0 ? static_cast<double>(n_sets) / serial_s : 0.0,
+                   parallel_s > 0.0 ? static_cast<double>(n_sets) / parallel_s : 0.0,
+                   speedup, mismatches);
+      std::fclose(json);
+    } else {
+      std::cerr << "error: cannot write JSON '" << json_path << "'\n";
+      return 1;
+    }
+  }
+
   if (mismatches > 0) {
     std::cout << "FAIL: " << mismatches << " row(s) differ between jobs=1 and jobs="
               << resolved.jobs << "\n";
@@ -269,7 +299,7 @@ bool is_campaign_flag(const char* arg, bool* eats_value) {
   static constexpr const char* kValueFlags[] = {"--jobs",       "--sets",
                                                 "--seed",       "--csv",
                                                 "--checkpoint", "--item-deadline",
-                                                "--retries"};
+                                                "--retries",    "--json"};
   static constexpr const char* kBoolFlags[] = {"--smoke", "--campaign", "--resume"};
   *eats_value = false;
   for (const char* flag : kBoolFlags)
@@ -302,6 +332,14 @@ int main(int argc, char** argv) {
       continue;
     }
     filtered.push_back(argv[i]);
+  }
+  // --json PATH is shorthand for google-benchmark's JSON file output; the
+  // strings must outlive Initialize(), which keeps pointers into argv.
+  static std::string json_out, json_fmt = "--benchmark_out_format=json";
+  if (const std::string json_path = args.get_string("json", ""); !json_path.empty()) {
+    json_out = "--benchmark_out=" + json_path;
+    filtered.push_back(json_out.data());
+    filtered.push_back(json_fmt.data());
   }
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());

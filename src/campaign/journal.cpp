@@ -267,6 +267,18 @@ Status fold_record(std::map<std::uint64_t, ItemFold>& folds, const JournalRecord
       return Status::error(describe() + " has conflicting duplicate records for attempt " +
                            std::to_string(record.attempt));
     }
+    // A failure identical to one already on file except for the attempt
+    // counter is a replay, not a new attempt: a resume that re-executes an
+    // item re-logs the same deterministic failure with a bumped counter.
+    // Folding it keeps failed_attempts() (and thus retry budgets) honest
+    // across crash/resume cycles. A *different* payload at a new attempt is
+    // a genuine retry and is kept.
+    for (const auto& entry : fold.failed_payloads) {
+      if (entry.second == record.payload) {
+        duplicate = true;
+        return Status::ok();
+      }
+    }
     fold.failed_payloads.emplace(record.attempt, record.payload);
     return Status::ok();
   }

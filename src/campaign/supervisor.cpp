@@ -46,6 +46,81 @@ bool stop_requested() { return g_stop.load(std::memory_order_relaxed); }
 
 void request_stop() { g_stop.store(true, std::memory_order_relaxed); }
 
+// --- DeadlineWatchdog -------------------------------------------------------
+
+DeadlineWatchdog::DeadlineWatchdog(Options options) : options_(std::move(options)) {
+  if (options_.soft_deadline_s > 0.0 || options_.stop != nullptr)
+    thread_ = std::thread([this] { loop(); });
+}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  if (!thread_.joinable()) return;
+  {
+    const LockGuard lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t DeadlineWatchdog::watch(std::shared_ptr<CancelToken> token) {
+  if (!active() || token == nullptr) return 0;
+  const LockGuard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  watched_[id] = {std::move(token), Clock::now()};
+  return id;
+}
+
+void DeadlineWatchdog::unwatch(std::uint64_t id) {
+  if (id == 0 || !active()) return;
+  const LockGuard lock(mutex_);
+  watched_.erase(id);
+}
+
+void DeadlineWatchdog::cancel_all(CancelToken::Reason reason) {
+  std::vector<std::shared_ptr<CancelToken>> tokens;
+  {
+    const LockGuard lock(mutex_);
+    tokens.reserve(watched_.size());
+    for (const auto& [id, watched] : watched_) tokens.push_back(watched.token);
+  }
+  for (const auto& token : tokens) token->cancel(reason);
+}
+
+void DeadlineWatchdog::loop() {
+  const std::chrono::duration<double> deadline(options_.soft_deadline_s);
+  UniqueLock lock(mutex_);
+  while (!done_) {
+    // Plain timed wait; the loop re-checks `done_` under the lock, so a
+    // spurious or shutdown wakeup is handled identically to a timeout.
+    cv_.wait_for(lock, options_.poll);
+    if (done_) return;
+
+    const bool fire_stop = options_.stop != nullptr &&
+                           options_.stop->load(std::memory_order_relaxed) && !stop_fired_;
+    if (fire_stop) stop_fired_ = true;
+
+    if (options_.soft_deadline_s > 0.0) {
+      const Clock::time_point now = Clock::now();
+      for (auto& [id, watched] : watched_)
+        if (now - watched.start >= deadline)
+          watched.token->cancel(CancelToken::Reason::kDeadline);
+    }
+
+    if (fire_stop) {
+      // The callback may take the caller's own mutex (workers hold it while
+      // calling watch()), so the internal lock -- a leaf in the lock order --
+      // must be dropped first. on_stop runs BEFORE the drain cancellation:
+      // once it returns no caller claims new work, so every token cancel_all
+      // sees is the complete in-flight set.
+      lock.unlock();
+      if (options_.on_stop) options_.on_stop();
+      cancel_all(CancelToken::Reason::kStop);
+      lock.lock();
+    }
+  }
+}
+
 Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
   jobs_ = options.campaign.jobs;
   if (jobs_ == 0) {
@@ -67,23 +142,32 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
     std::size_t index = 0;
     std::uint32_t attempt = 1;  ///< 1-based attempt this claim will execute
   };
-  struct InFlightItem {
-    std::shared_ptr<CancelToken> token;
-    Clock::time_point start;
-  };
   // The shared scheduling state. Every mutable member is RBS_GUARDED_BY the
   // struct's mutex, so both Clang's -Wthread-safety and rbs_lint's
-  // lock-discipline rule verify that workers and the watchdog never touch it
-  // without holding the lock.
+  // lock-discipline rule verify that workers and the stop callback never
+  // touch it without holding the lock. Token age tracking lives in the
+  // DeadlineWatchdog below, not here.
   struct State {
     Mutex mutex;
-    CondVar work_cv;      ///< work arrived / drain finished
-    CondVar watchdog_cv;  ///< wakes the watchdog on shutdown
+    CondVar work_cv;  ///< work arrived / drain finished
     std::deque<Work> queue RBS_GUARDED_BY(mutex);
-    std::map<std::size_t, InFlightItem> in_flight RBS_GUARDED_BY(mutex);
+    std::size_t in_flight RBS_GUARDED_BY(mutex) = 0;
     bool stopping RBS_GUARDED_BY(mutex) = false;  ///< claim no further items
-    bool done RBS_GUARDED_BY(mutex) = false;      ///< workers joined: watchdog may exit
   } state;
+
+  // Deadline kills + stop propagation. The on_stop callback takes state.mutex
+  // (legal: the watchdog's lock is a leaf and is never held around the
+  // callback), parks the queue, and wakes the workers; the watchdog then
+  // flags every in-flight token with Reason::kStop. Workers register tokens
+  // while holding state.mutex, so a claim either completes before on_stop
+  // runs (token watched, hence drained) or observes `stopping` and declines.
+  DeadlineWatchdog watchdog({options_.soft_deadline_s, options_.stop,
+                             [&state] {
+                               const LockGuard lock(state.mutex);
+                               state.stopping = true;
+                               state.work_cv.notify_all();
+                             },
+                             std::chrono::milliseconds(15)});
 
   // Must only be called with state.mutex held (appends stay ordered and the
   // report field is race-free; the JournalWriter also takes its own lock).
@@ -145,14 +229,15 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
   const auto worker = [&] {
     UniqueLock lock(state.mutex);
     for (;;) {
-      while (!(state.stopping || !state.queue.empty() || state.in_flight.empty()))
+      while (!(state.stopping || !state.queue.empty() || state.in_flight == 0))
         state.work_cv.wait(lock);
       if (state.stopping || state.queue.empty()) return;
 
       const Work work = state.queue.front();
       state.queue.pop_front();
       auto token = std::make_shared<CancelToken>();
-      state.in_flight[work.index] = {token, Clock::now()};
+      ++state.in_flight;
+      const std::uint64_t watch_id = watchdog.watch(token);
       lock.unlock();
 
       enum class Result : std::uint8_t { kOk, kCancelled, kError };
@@ -172,7 +257,8 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
       }
 
       lock.lock();
-      state.in_flight.erase(work.index);
+      watchdog.unwatch(watch_id);
+      --state.in_flight;
       const CancelToken::Reason reason = token->reason();
       ItemOutcome& out = report.items[work.index];
       out.attempts = work.attempt;
@@ -216,50 +302,13 @@ CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
     }
   };
 
-  // ---- watchdog: deadline kills + stop propagation -------------------------
-  std::thread watchdog;
-  const bool need_watchdog = options_.soft_deadline_s > 0.0 || options_.stop != nullptr;
-  if (need_watchdog) {
-    watchdog = std::thread([&] {
-      const std::chrono::duration<double> deadline(options_.soft_deadline_s);
-      UniqueLock lock(state.mutex);
-      while (!state.done) {
-        // Plain timed wait; the loop re-checks `done` under the lock, so a
-        // spurious or shutdown wakeup is handled identically to a timeout.
-        state.watchdog_cv.wait_for(lock, std::chrono::milliseconds(15));
-        if (state.done) return;
-        if (options_.stop != nullptr &&
-            options_.stop->load(std::memory_order_relaxed) && !state.stopping) {
-          state.stopping = true;
-          for (auto& [index, item] : state.in_flight)
-            item.token->cancel(CancelToken::Reason::kStop);
-          state.work_cv.notify_all();
-        }
-        if (options_.soft_deadline_s > 0.0) {
-          const Clock::time_point now = Clock::now();
-          for (auto& [index, item] : state.in_flight)
-            if (now - item.start >= deadline)
-              item.token->cancel(CancelToken::Reason::kDeadline);
-        }
-      }
-    });
-  }
-
   const unsigned n_workers =
       static_cast<unsigned>(std::min<std::size_t>(jobs_, std::max<std::size_t>(1, count)));
   std::vector<std::thread> workers;
   workers.reserve(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) workers.emplace_back(worker);
   for (std::thread& w : workers) w.join();
-
-  if (need_watchdog) {
-    {
-      const LockGuard lock(state.mutex);
-      state.done = true;
-    }
-    state.watchdog_cv.notify_all();
-    watchdog.join();
-  }
+  // (the watchdog thread, if any, is joined by its destructor at return)
 
   for (const ItemOutcome& out : report.items)
     if (out.state == ItemOutcome::State::kPending) report.interrupted = true;

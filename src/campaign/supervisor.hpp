@@ -32,15 +32,20 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/journal.hpp"
 #include "campaign/runner.hpp"
 #include "gen/rng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace rbs::campaign {
 
@@ -76,6 +81,73 @@ class CancelToken {
 
 /// Thrown by cooperative items observing their CancelToken.
 struct CampaignCancelled {};
+
+/// Reusable deadline/stop watchdog: one polling thread tracking any number of
+/// registered CancelTokens by wall-clock age. Extracted from Supervisor::run
+/// so every layer that hands out soft per-work-unit deadlines (the campaign
+/// supervisor, the analysis server in service/server.hpp) shares one audited
+/// implementation instead of growing its own polling thread.
+///
+///   * `watch()` registers a token with the current time; `unwatch()` removes
+///     it when the work unit finishes. Tokens older than `soft_deadline_s`
+///     are cancelled with Reason::kDeadline.
+///   * when `stop` flips true, every watched token is cancelled with
+///     Reason::kStop and `on_stop` fires exactly once -- AFTER the internal
+///     lock is released, so the callback may take the caller's own mutex
+///     (the watchdog's lock is a leaf: watch/unwatch may be called while
+///     holding caller locks, never the reverse).
+///   * with no deadline and no stop flag the watchdog is inert: no thread is
+///     started and watch()/unwatch() are O(1) no-ops.
+///
+/// Cancellation stays cooperative and soft exactly as under the Supervisor:
+/// work that completes despite a flagged token still counts as completed.
+class DeadlineWatchdog {
+ public:
+  struct Options {
+    double soft_deadline_s = 0.0;  ///< per-unit wall-clock budget; 0 disables
+    /// External stop request (install_stop_handlers() or a test's own flag);
+    /// polled every `poll` interval. May be null.
+    const std::atomic<bool>* stop = nullptr;
+    /// Fired once when `stop` is first observed, outside the internal lock.
+    std::function<void()> on_stop;
+    std::chrono::milliseconds poll{15};  ///< watchdog resolution
+  };
+
+  explicit DeadlineWatchdog(Options options);
+  ~DeadlineWatchdog();
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// Registers `token`, timestamped now; returns the handle for unwatch().
+  /// When the watchdog is inert (`!active()`) this is a no-op returning 0.
+  [[nodiscard]] std::uint64_t watch(std::shared_ptr<CancelToken> token);
+
+  /// Deregisters a token; accepts the 0 handle (and double unwatch) quietly.
+  void unwatch(std::uint64_t id);
+
+  /// Cancels every currently watched token with `reason` (stop drains).
+  void cancel_all(CancelToken::Reason reason);
+
+  /// True when a polling thread is running (deadline or stop flag present).
+  [[nodiscard]] bool active() const { return thread_.joinable(); }
+
+ private:
+  struct Watched {
+    std::shared_ptr<CancelToken> token;
+    std::chrono::steady_clock::time_point start;  // rbs-lint: allow(nondet)
+  };
+
+  void loop();
+
+  Options options_;
+  mutable Mutex mutex_;
+  CondVar cv_;  ///< wakes the poller early on shutdown
+  std::map<std::uint64_t, Watched> watched_ RBS_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ RBS_GUARDED_BY(mutex_) = 1;
+  bool done_ RBS_GUARDED_BY(mutex_) = false;
+  bool stop_fired_ RBS_GUARDED_BY(mutex_) = false;
+  std::thread thread_;  ///< started last, so loop() sees initialized members
+};
 
 struct SupervisorOptions {
   CampaignOptions campaign;     ///< worker count + master seed (see runner.hpp)

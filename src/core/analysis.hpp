@@ -44,6 +44,21 @@ struct AnalysisLimits {
   /// at the mode switch (ablation; the paper's Eq. 10 corresponds to false).
   /// Affects only the Delta_R sub-analysis.
   bool discard_dropped_carryover = false;
+
+  /// The reduced-effort preset the analysis server applies to HI-criticality
+  /// requests while it is in its degraded ("HI") service mode: a 100x
+  /// smaller breakpoint budget and a coarse stopping tolerance, trading the
+  /// exactness flags (`s_min_exact` / `delta_r_exact` turn false when the
+  /// caps bite, and `s_min_error_bound` reports the residual) for bounded
+  /// per-request latency under overload. Mirrors the paper's degradation
+  /// philosophy: keep serving the HI-criticality work, mark the answer as
+  /// degraded instead of missing its deadline.
+  [[nodiscard]] static AnalysisLimits degraded() {
+    AnalysisLimits limits;
+    limits.max_breakpoints = 200'000;
+    limits.rel_tol = kDegradedRelTol;
+    return limits;
+  }
 };
 
 /// Which sub-analyses to run. Verdict fields of sub-analyses that were not
@@ -63,6 +78,12 @@ struct AnalysisRequest {
   double lo_speed = 1.0;  ///< LO-mode processor speed (1.0 in the paper)
   AnalysisParts parts;
   AnalysisLimits limits;
+  /// Criticality of the *request* itself, mirroring the task model's levels:
+  /// under overload the analysis server (service/server.hpp) sheds kLo
+  /// requests and serves kHi ones under AnalysisLimits::degraded(), the
+  /// EDF-VD degradation philosophy applied to the service layer. Ignored by
+  /// analyze() itself -- a priority never changes a report's numbers.
+  Criticality priority = Criticality::LO;
 };
 
 /// Everything the fused sweep learns about one task set.

@@ -12,12 +12,20 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace rbs {
+
+/// Machine-readable classification of a non-ok Status. The plain `kError`
+/// covers parse/IO/validation failures; `kOverloaded` is the analysis
+/// server's typed load-shedding verdict (service/admission.hpp): the request
+/// was well-formed but deliberately rejected to protect higher-criticality
+/// traffic, so the caller may retry later rather than fix its input.
+enum class StatusCode : std::uint8_t { kOk, kError, kOverloaded };
 
 /// An ok/error verdict with a diagnostic message (empty iff ok). The class
 /// itself is [[nodiscard]]: a dropped Status is a dropped error.
@@ -30,16 +38,25 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status error(std::string message) {
     Status s;
     s.message_ = std::move(message);
-    s.ok_ = false;
+    s.code_ = StatusCode::kError;
+    return s;
+  }
+  /// Typed load-shed verdict (see StatusCode::kOverloaded). Not ok.
+  [[nodiscard]] static Status overloaded(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.code_ = StatusCode::kOverloaded;
     return s;
   }
 
-  [[nodiscard]] bool is_ok() const { return ok_; }
-  explicit operator bool() const { return ok_; }
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] bool is_overloaded() const { return code_ == StatusCode::kOverloaded; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
 
  private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <set>
 #include <sstream>
 #include <vector>
+
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
@@ -188,6 +192,64 @@ bool write_task_set_file(const std::string& path, const TaskSet& set) {
   if (!out) return false;
   write_task_set(out, set);
   return true;
+}
+
+std::string canonical_task_set(const TaskSet& set) {
+  // One tuple per task, name-free; is_inf() collapses every >= kInfTicks
+  // encoding of "+inf" onto a single representative so differently-saturated
+  // inputs canonicalize identically.
+  struct Tuple {
+    int crit;
+    Ticks v[6];
+    bool operator<(const Tuple& other) const {
+      if (crit != other.crit) return crit < other.crit;
+      for (int i = 0; i < 6; ++i)
+        if (v[i] != other.v[i]) return v[i] < other.v[i];
+      return false;
+    }
+  };
+  std::vector<Tuple> tuples;
+  tuples.reserve(set.size());
+  for (const McTask& t : set) {
+    Tuple tuple{};
+    tuple.crit = t.is_hi() ? 1 : 0;
+    const Ticks raw[6] = {t.wcet(Mode::LO),     t.wcet(Mode::HI),   t.deadline(Mode::LO),
+                          t.deadline(Mode::HI), t.period(Mode::LO), t.period(Mode::HI)};
+    for (int i = 0; i < 6; ++i) tuple.v[i] = is_inf(raw[i]) ? kInfTicks : raw[i];
+    tuples.push_back(tuple);
+  }
+  std::sort(tuples.begin(), tuples.end());
+
+  std::string out;
+  auto tick = [](Ticks t) { return is_inf(t) ? std::string("inf") : std::to_string(t); };
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    if (i != 0) out += '|';
+    out += tuples[i].crit == 1 ? "HI" : "LO";
+    for (const Ticks v : tuples[i].v) {
+      out += ',';
+      out += tick(v);
+    }
+  }
+  return out;
+}
+
+std::string canonical_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Snap onto the kCanonicalGrid lattice; the lattice index is an integer, so
+  // printing it (plus the fixed grid) is exact and whitespace-free. Values
+  // too large for the lattice fall back to full-precision %.17g -- they are
+  // far outside the tolerance-sensitive O(1) range anyway.
+  const double scaled = value / kCanonicalGrid;
+  constexpr double kMaxLattice = 9.0e15;  // below 2^53: every index exact
+  char buffer[40];
+  if (scaled >= -kMaxLattice && scaled <= kMaxLattice) {
+    const auto index = static_cast<long long>(std::llround(scaled));
+    std::snprintf(buffer, sizeof buffer, "g%lld", index);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  }
+  return buffer;
 }
 
 }  // namespace rbs

@@ -45,4 +45,27 @@ void write_task_set(std::ostream& out, const TaskSet& set);
 /// Writes to a file; returns false if the file cannot be opened.
 [[nodiscard]] bool write_task_set_file(const std::string& path, const TaskSet& set);
 
+/// Canonical single-line serialization of a task set, the basis of the
+/// analysis server's content-hashed result cache (service/cache.hpp):
+///
+///   * task names are dropped -- no analysis in core/ reads them;
+///   * tasks are sorted by their full parameter tuple, so two sets that
+///     differ only in declaration order (or naming) serialize identically;
+///   * fields appear in a fixed order (crit, C(LO), C(HI), D(LO), D(HI),
+///     T(LO), T(HI)) separated by ',' with tasks separated by '|', and
+///     infinities print as "inf" -- no whitespace, tabs or newlines ever;
+///   * the empty set canonicalizes to the empty string.
+///
+/// Round-trip stable: canonical_task_set(parse(write(set))) ==
+/// canonical_task_set(set) for every valid set (property-tested in
+/// tests/support/taskset_io_test.cpp).
+[[nodiscard]] std::string canonical_task_set(const TaskSet& set);
+
+/// Canonical rendering of a floating-point knob (speeds, tolerances) for the
+/// same cache key: the value is snapped onto the kCanonicalGrid lattice and
+/// printed with just enough digits to identify the lattice point, so values
+/// that differ only by rounding noise (well inside kSpeedTol) render
+/// identically. Non-finite values render as "inf"/"-inf"/"nan".
+[[nodiscard]] std::string canonical_double(double value);
+
 }  // namespace rbs

@@ -64,6 +64,17 @@ inline constexpr double kMinPositiveWork = 1e-9;
 /// be unreachable at the simulator's work tolerance.
 inline constexpr double kMinOverrunFraction = 1e-6;
 
+/// Stopping tolerance of the degraded analysis preset
+/// (AnalysisLimits::degraded()): coarse enough that the speedup search
+/// settles in a handful of refinement steps under overload, while
+/// `s_min_error_bound` still reports the residual honestly.
+inline constexpr double kDegradedRelTol = 1e-4;
+
+/// Grid the canonical task-set serialization (support/taskset_io.hpp) snaps
+/// floating-point knobs onto, so two requests whose speeds differ only by
+/// rounding noise (well inside kSpeedTol) hash to the same cache entry.
+inline constexpr double kCanonicalGrid = 1e-9;
+
 constexpr bool approx_eq(double a, double b, const Tolerance& tol = kTimeTol) {
   return tol.eq(a, b);
 }

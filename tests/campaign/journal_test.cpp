@@ -174,6 +174,44 @@ TEST(JournalTest, ExactDuplicateRecordsAreBenign) {
   std::remove(path.c_str());
 }
 
+TEST(JournalTest, FailureReplayedWithBumpedAttemptIsBenign) {
+  // A resume that re-executes a failed item re-logs the same deterministic
+  // failure under a bumped attempt counter. Such a record differs from the
+  // one on file ONLY in the retry count, so it folds as a duplicate instead
+  // of inflating failed_attempts() across crash/resume cycles.
+  const std::string path = temp_path("journal_retry_dup.jsonl");
+  auto writer = JournalWriter::create(path, demo_header());
+  ASSERT_TRUE(writer.is_ok()) << writer.status().message();
+  ASSERT_TRUE(writer.value().append({1, 1, JournalRecord::Kind::kFailed, "boom: X"}).is_ok());
+  ASSERT_TRUE(writer.value().append({1, 2, JournalRecord::Kind::kFailed, "boom: X"}).is_ok());
+  ASSERT_TRUE(writer.value().append({1, 2, JournalRecord::Kind::kOk, "1,2.25,315"}).is_ok());
+
+  const Expected<LoadedJournal> loaded = load_journal(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().duplicate_records, 1u);
+  EXPECT_EQ(loaded.value().records.size(), 2u);
+  EXPECT_EQ(loaded.value().failed_attempts(1), 1u);
+  ASSERT_NE(loaded.value().final_record(1), nullptr);
+  EXPECT_EQ(loaded.value().final_record(1)->payload, "1,2.25,315");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DistinctFailurePayloadsStillCountAsRetries) {
+  // A genuinely different failure at a new attempt is NOT a replay: both
+  // records stay live and the retry budget sees two attempts.
+  const std::string path = temp_path("journal_retry_distinct.jsonl");
+  auto writer = JournalWriter::create(path, demo_header());
+  ASSERT_TRUE(writer.is_ok()) << writer.status().message();
+  ASSERT_TRUE(writer.value().append({1, 1, JournalRecord::Kind::kFailed, "timeout"}).is_ok());
+  ASSERT_TRUE(writer.value().append({1, 2, JournalRecord::Kind::kFailed, "crashed"}).is_ok());
+
+  const Expected<LoadedJournal> loaded = load_journal(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().duplicate_records, 0u);
+  EXPECT_EQ(loaded.value().failed_attempts(1), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(JournalTest, RejectsConflictingDuplicateVerdicts) {
   const std::string path = temp_path("journal_conflict.jsonl");
   const std::string full = make_journal(path);

@@ -322,5 +322,59 @@ TEST(SupervisorTest, ZeroItemsIsACompletedCampaign) {
   EXPECT_FALSE(report.interrupted);
 }
 
+// --- DeadlineWatchdog (the piece Supervisor and the service layer share) ---
+
+TEST(DeadlineWatchdogTest, InertWithoutDeadlineOrStopFlag) {
+  DeadlineWatchdog watchdog({});
+  EXPECT_FALSE(watchdog.active());
+  auto token = std::make_shared<CancelToken>();
+  EXPECT_EQ(watchdog.watch(token), 0u);
+  watchdog.unwatch(0);  // quietly accepted
+  EXPECT_FALSE(token->cancelled());
+}
+
+TEST(DeadlineWatchdogTest, CancelsOverdueTokensWithDeadlineReason) {
+  DeadlineWatchdog::Options options;
+  options.soft_deadline_s = 0.02;
+  options.poll = std::chrono::milliseconds(2);
+  DeadlineWatchdog watchdog(std::move(options));
+  ASSERT_TRUE(watchdog.active());
+
+  auto overdue = std::make_shared<CancelToken>();
+  const std::uint64_t id = watchdog.watch(overdue);
+  EXPECT_NE(id, 0u);
+  for (int i = 0; i < 500 && !overdue->cancelled(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(overdue->reason(), CancelToken::Reason::kDeadline);
+
+  // A token unwatched before its deadline is never touched.
+  auto finished = std::make_shared<CancelToken>();
+  watchdog.unwatch(watchdog.watch(finished));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(finished->cancelled());
+  watchdog.unwatch(id);
+}
+
+TEST(DeadlineWatchdogTest, StopFlagFiresCallbackOnceAndDrainsTokens) {
+  std::atomic<bool> stop{false};
+  std::atomic<int> stop_calls{0};
+  DeadlineWatchdog::Options options;
+  options.stop = &stop;
+  options.on_stop = [&stop_calls] { ++stop_calls; };
+  options.poll = std::chrono::milliseconds(2);
+  DeadlineWatchdog watchdog(std::move(options));
+  ASSERT_TRUE(watchdog.active());
+
+  auto token = std::make_shared<CancelToken>();
+  const std::uint64_t id = watchdog.watch(token);
+  stop.store(true);
+  for (int i = 0; i < 500 && !token->cancelled(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(token->reason(), CancelToken::Reason::kStop);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(stop_calls.load(), 1);  // exactly once, not once per poll
+  watchdog.unwatch(id);
+}
+
 }  // namespace
 }  // namespace rbs::campaign

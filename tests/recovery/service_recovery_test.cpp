@@ -1,0 +1,203 @@
+// Crash-safety integration suite for the analysis server: runs the real
+// service_load binary with a cache WAL, SIGKILLs it mid-serve, restarts it
+// over the surviving WAL, and verifies (a) the warm start actually served
+// from the cache and (b) every response is byte-identical to an
+// uninterrupted baseline run. Also exercises the graceful SIGTERM drain
+// (exit 75) and the binary's own --expect-overload acceptance gate.
+//
+// The binary under test is injected at compile time as
+// RBS_SERVICE_LOAD_PATH (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+std::string load_binary() { return RBS_SERVICE_LOAD_PATH; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+/// fork+exec `argv`, stdout/stderr redirected to `log_path`. Returns the pid.
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  const int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    dup2(fd, STDOUT_FILENO);
+    dup2(fd, STDERR_FILENO);
+    close(fd);
+  }
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& a : argv) raw.push_back(const_cast<char*>(a.c_str()));
+  raw.push_back(nullptr);
+  execv(raw[0], raw.data());
+  _exit(127);
+}
+
+struct ExitInfo {
+  bool signalled = false;
+  int code = -1;  ///< exit status, or the signal number when signalled
+};
+
+ExitInfo wait_for(pid_t pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFSIGNALED(status)) return {true, WTERMSIG(status)};
+  if (WIFEXITED(status)) return {false, WEXITSTATUS(status)};
+  return {false, -1};
+}
+
+ExitInfo run(const std::vector<std::string>& argv, const std::string& log_path) {
+  return wait_for(spawn(argv, log_path));
+}
+
+std::size_t count_lines(const std::string& bytes) {
+  std::size_t n = 0;
+  for (char c : bytes)
+    if (c == '\n') ++n;
+  return n;
+}
+
+/// Pulls `"field": N` out of the driver's JSON report.
+long long json_field(const std::string& json, const std::string& field) {
+  const std::string needle = "\"" + field + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::atoll(json.c_str() + at + needle.size());
+}
+
+class ServiceRecoveryTest : public testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return testing::TempDir() + "/" + name;
+  }
+
+  /// The fixed trace every run in a test serves: deterministic by seed.
+  std::vector<std::string> trace_args(const std::string& tag,
+                                      const std::vector<std::string>& extra) const {
+    std::vector<std::string> argv{load_binary(), "--requests", "24",     "--seed",
+                                  "17",          "--workers",  "2",      "--hi-fraction",
+                                  "0.5",         "--dump",     path(tag + ".dump")};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    return argv;
+  }
+};
+
+// The headline acceptance test: SIGKILL mid-serve, restart over the WAL; the
+// restarted run must serve from the warm cache and produce responses
+// byte-identical to an uninterrupted baseline.
+TEST_F(ServiceRecoveryTest, SigkillThenWarmStartServesByteIdenticalResults) {
+  // Uninterrupted baseline, no cache: the ground-truth response dump.
+  ASSERT_EQ(run(trace_args("svc.base", {}), path("svc.base.log")).code, 0)
+      << read_file(path("svc.base.log"));
+  const std::string want = read_file(path("svc.base.dump"));
+  ASSERT_FALSE(want.empty());
+
+  const std::string wal = path("svc.wal.jsonl");
+  std::remove(wal.c_str());
+
+  // Victim run: slow serving (--hook-ms) so the SIGKILL lands while results
+  // are still being published to the WAL.
+  const pid_t pid = spawn(trace_args("svc.victim", {"--cache", wal, "--hook-ms", "30"}),
+                          path("svc.victim.log"));
+  bool killed = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::seconds(60)) {
+    // Kill once at least two complete records made it into the WAL (line 1
+    // is the header; a torn third line is torn-tail-recovered on replay).
+    if (count_lines(read_file(wal)) >= 3) {
+      kill(pid, SIGKILL);
+      killed = true;
+      break;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      FAIL() << "service_load finished before SIGKILL could land: "
+             << read_file(path("svc.victim.log"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(killed);
+  const ExitInfo victim = wait_for(pid);
+  ASSERT_TRUE(victim.signalled);
+  ASSERT_EQ(victim.code, SIGKILL);
+  // A SIGKILLed run must not have produced a (committed) dump.
+  EXPECT_TRUE(read_file(path("svc.victim.dump")).empty());
+
+  // Restart over the surviving WAL. Same seed, same trace.
+  const ExitInfo warm = run(
+      trace_args("svc.warm", {"--cache", wal, "--json", path("svc.warm.json")}),
+      path("svc.warm.log"));
+  ASSERT_FALSE(warm.signalled);
+  ASSERT_EQ(warm.code, 0) << read_file(path("svc.warm.log"));
+
+  const std::string json = read_file(path("svc.warm.json"));
+  EXPECT_GT(json_field(json, "cache_hits"), 0)
+      << "the restart must serve from the crash-surviving cache\n" << json;
+  EXPECT_EQ(read_file(path("svc.warm.dump")), want)
+      << "warm-started responses differ from the uninterrupted baseline";
+}
+
+TEST_F(ServiceRecoveryTest, SigtermDrainsAndExitsResumable) {
+  const std::string wal = path("svc.term.wal.jsonl");
+  std::remove(wal.c_str());
+
+  const pid_t pid = spawn(trace_args("svc.term", {"--cache", wal, "--hook-ms", "50"}),
+                          path("svc.term.log"));
+  bool terminated = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < std::chrono::seconds(60)) {
+    if (count_lines(read_file(wal)) >= 3) {
+      kill(pid, SIGTERM);
+      terminated = true;
+      break;
+    }
+    int status = 0;
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      FAIL() << "service_load finished before SIGTERM could land: "
+             << read_file(path("svc.term.log"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(terminated);
+  const ExitInfo e = wait_for(pid);
+  ASSERT_FALSE(e.signalled) << "SIGTERM should drain gracefully";
+  // 75 = campaign::kExitResumable; 0 only if the drain raced completion.
+  ASSERT_TRUE(e.code == 75 || e.code == 0) << "exit " << e.code << "\n"
+                                           << read_file(path("svc.term.log"));
+
+  // The drained WAL still warm-starts a follow-up run.
+  const ExitInfo resumed = run(
+      trace_args("svc.term2", {"--cache", wal, "--json", path("svc.term2.json")}),
+      path("svc.term2.log"));
+  ASSERT_EQ(resumed.code, 0) << read_file(path("svc.term2.log"));
+  EXPECT_GT(json_field(read_file(path("svc.term2.json")), "cache_hits"), 0);
+}
+
+// The binary's own --expect-overload gate, end to end: mode-switch to HI
+// under a paused burst, shed only LO, recover to LO. The driver exits
+// nonzero if any of that fails, so the assertion here is just the code.
+TEST_F(ServiceRecoveryTest, ExpectOverloadGatePasses) {
+  const ExitInfo e = run(
+      {load_binary(), "--requests", "120", "--paused", "--workers", "1", "--seed", "3",
+       "--hi-fraction", "0.3", "--hi-enter", "40", "--lo-exit", "4", "--expect-overload"},
+      path("svc.overload.log"));
+  ASSERT_FALSE(e.signalled);
+  EXPECT_EQ(e.code, 0) << read_file(path("svc.overload.log"));
+}
+
+}  // namespace

@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <random>
 #include <sstream>
+#include <vector>
 
 #include "gen/paper_examples.hpp"
 
@@ -176,6 +180,105 @@ TEST(TaskSetIoTest, MissingFileReported) {
   auto result = read_task_set_file("/nonexistent/rbs.txt");
   ASSERT_TRUE(std::holds_alternative<ParseError>(result));
   EXPECT_EQ(std::get<ParseError>(result).line, 0);
+}
+
+// --- canonical serialization (the analysis server's cache key) -------------
+
+TEST(CanonicalTaskSetTest, EmptySetIsEmptyString) {
+  EXPECT_EQ(canonical_task_set(TaskSet(std::vector<McTask>{})), "");
+}
+
+TEST(CanonicalTaskSetTest, DropsNamesAndSortsTasks) {
+  const TaskSet a({McTask::hi("alpha", 1, 2, 3, 6, 6), McTask::lo("beta", 2, 5, 5, 8, 8)});
+  const TaskSet b({McTask::lo("x", 2, 5, 5, 8, 8), McTask::hi("y", 1, 2, 3, 6, 6)});
+  EXPECT_EQ(canonical_task_set(a), canonical_task_set(b));
+  EXPECT_EQ(canonical_task_set(a).find(' '), std::string::npos);
+  EXPECT_EQ(canonical_task_set(a).find("alpha"), std::string::npos);
+}
+
+TEST(CanonicalTaskSetTest, DistinguishesDifferentParameters) {
+  const TaskSet a({McTask::hi("t", 1, 2, 3, 6, 6)});
+  const TaskSet b({McTask::hi("t", 1, 2, 3, 7, 7)});
+  EXPECT_NE(canonical_task_set(a), canonical_task_set(b));
+}
+
+TEST(CanonicalTaskSetTest, TerminationRendersAsInf) {
+  const TaskSet set({McTask::lo_terminated("l", 2, 8, 8)});
+  const std::string canon = canonical_task_set(set);
+  EXPECT_NE(canon.find("inf"), std::string::npos);
+  EXPECT_EQ(canon.find('\n'), std::string::npos);
+}
+
+// Property: the canonical form is invariant under renaming and declaration
+// order, and stable through a write/parse round trip. Deterministically
+// seeded so failures reproduce.
+TEST(CanonicalTaskSetTest, RoundTripAndPermutationProperty) {
+  std::mt19937_64 rng(20260808u);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = 1 + static_cast<int>(rng() % 6u);
+    std::vector<McTask> tasks;
+    for (int i = 0; i < n; ++i) {
+      const Ticks c_lo = 1 + static_cast<Ticks>(rng() % 9u);
+      const Ticks t_lo = c_lo + 1 + static_cast<Ticks>(rng() % 40u);
+      const Ticks d_lo = c_lo + static_cast<Ticks>(rng() % (t_lo - c_lo + 1));
+      const std::string name = "t" + std::to_string(i);
+      if (rng() % 2u == 0) {
+        const Ticks c_hi = c_lo + static_cast<Ticks>(rng() % std::max<Ticks>(d_lo - c_lo + 1, 1));
+        const Ticks d_hi = d_lo + static_cast<Ticks>(rng() % (t_lo - d_lo + 1));
+        tasks.push_back(McTask::hi(name, c_lo, std::max(c_hi, c_lo), d_lo, d_hi, t_lo));
+      } else if (rng() % 3u == 0) {
+        tasks.push_back(McTask::lo_terminated(name, c_lo, d_lo, t_lo));
+      } else {
+        const Ticks t_hi = t_lo + static_cast<Ticks>(rng() % 40u);
+        const Ticks d_hi = d_lo + static_cast<Ticks>(rng() % (t_hi - d_lo + 1));
+        tasks.push_back(McTask::lo(name, c_lo, d_lo, t_lo, d_hi, t_hi));
+      }
+    }
+    const TaskSet original(tasks);
+    const std::string canon = canonical_task_set(original);
+
+    // Shuffle declaration order and rename every task: same canonical form.
+    std::vector<McTask> shuffled = tasks;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    std::vector<McTask> renamed;
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      const McTask& t = shuffled[i];
+      const std::string name = "renamed" + std::to_string(i);
+      if (t.is_hi()) {
+        renamed.push_back(McTask::hi(name, t.wcet(Mode::LO), t.wcet(Mode::HI),
+                                     t.deadline(Mode::LO), t.deadline(Mode::HI),
+                                     t.period(Mode::LO)));
+      } else {
+        renamed.push_back(McTask::lo(name, t.wcet(Mode::LO), t.deadline(Mode::LO),
+                                     t.period(Mode::LO), t.deadline(Mode::HI),
+                                     t.period(Mode::HI)));
+      }
+    }
+    EXPECT_EQ(canonical_task_set(TaskSet(renamed)), canon) << "iter " << iter;
+
+    // Text round trip: write -> parse -> same canonical form.
+    std::ostringstream out;
+    write_task_set(out, original);
+    EXPECT_EQ(canonical_task_set(parse_or_die(out.str())), canon) << "iter " << iter;
+  }
+}
+
+TEST(CanonicalDoubleTest, SnapsRoundingNoiseOntoGrid) {
+  EXPECT_EQ(canonical_double(1.0), canonical_double(1.0 + 1e-13));
+  EXPECT_EQ(canonical_double(1.0), canonical_double(1.0 - 1e-13));
+  EXPECT_NE(canonical_double(1.0), canonical_double(1.0 + 1e-6));
+  EXPECT_NE(canonical_double(1.25), canonical_double(1.5));
+}
+
+TEST(CanonicalDoubleTest, HandlesNonFiniteAndExtremes) {
+  EXPECT_EQ(canonical_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(canonical_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(canonical_double(-std::numeric_limits<double>::infinity()), "-inf");
+  // Beyond the lattice range: still deterministic and distinct from zero.
+  EXPECT_EQ(canonical_double(1e200), canonical_double(1e200));
+  EXPECT_NE(canonical_double(1e200), canonical_double(0.0));
+  EXPECT_EQ(canonical_double(0.0), "g0");
+  EXPECT_EQ(canonical_double(-0.0), "g0");
 }
 
 }  // namespace
