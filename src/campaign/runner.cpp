@@ -6,7 +6,53 @@
 #include <mutex>
 #include <thread>
 
+#include "support/rt_annotations.hpp"
+
 namespace rbs::campaign {
+
+namespace {
+
+/// Shared drain state for one for_each call: the work cursor plus the
+/// first-error capture (earliest item index wins, matching serial order).
+struct Drain {
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr first_error;
+};
+
+/// Cold path: an item threw. Locking here is deliberate and fine -- it runs
+/// at most once per failing item, never in the throughput loop.
+void record_item_error(Drain& drain, std::size_t i)
+    RBS_RT_ESCAPE(cold_error_capture_locks_once_per_failing_item) {
+  const std::lock_guard<std::mutex> lock(drain.error_mutex);
+  if (i < drain.first_error_index) {
+    drain.first_error_index = i;
+    drain.first_error = std::current_exception();
+  }
+}
+
+/// The campaign per-item execution path: every worker spins here until the
+/// cursor passes `count`. Hot -- rbs_lint's rt pass keeps the loop free of
+/// allocation and locking; `fn` itself is opaque to the walk (the documented
+/// std::function fallback), so callees passed in are audited at their own
+/// definition sites (analyze_impl's sweep is RBS_HOT_PATH itself).
+RBS_HOT_PATH void drain_items(Drain& drain,
+                              const std::function<void(std::size_t, Rng&)>& fn,
+                              std::uint64_t seed, std::size_t count) {
+  for (;;) {
+    const std::size_t i = drain.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      Rng rng(item_seed(seed, i));
+      fn(i, rng);
+    } catch (...) {
+      record_item_error(drain, i);
+    }
+  }
+}
+
+}  // namespace
 
 std::uint64_t item_seed(std::uint64_t campaign_seed, std::uint64_t index) {
   // SplitMix64 (Steele, Lea & Flood) over the campaign seed offset by the
@@ -41,30 +87,9 @@ void CampaignRunner::for_each(std::size_t count,
     return;
   }
 
-  struct Drain {
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr first_error;
-  } drain;
-
+  Drain drain;
   const std::uint64_t seed = options_.seed;
-  const auto worker = [&drain, &fn, seed, count] {
-    for (;;) {
-      const std::size_t i = drain.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        Rng rng(item_seed(seed, i));
-        fn(i, rng);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(drain.error_mutex);
-        if (i < drain.first_error_index) {
-          drain.first_error_index = i;
-          drain.first_error = std::current_exception();
-        }
-      }
-    }
-  };
+  const auto worker = [&drain, &fn, seed, count] { drain_items(drain, fn, seed, count); };
   for (unsigned w = 0; w < jobs_; ++w) pool_->submit(worker);
   pool_->wait_idle();
   if (drain.first_error) std::rethrow_exception(drain.first_error);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/rt_annotations.hpp"
+
 namespace rbs {
 
 namespace {
@@ -44,13 +46,13 @@ Ticks adb_hi_left(const McTask& task, Ticks delta, bool discard_dropped_carryove
   return r + (q + 1) * task.wcet(Mode::HI);
 }
 
-Ticks adb_hi_total(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
+RBS_HOT_PATH Ticks adb_hi_total(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
   Ticks sum = 0;
   for (const McTask& t : set) sum += adb_hi(t, delta, discard_dropped_carryover);
   return sum;
 }
 
-Ticks adb_hi_total_left(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
+RBS_HOT_PATH Ticks adb_hi_total_left(const TaskSet& set, Ticks delta, bool discard_dropped_carryover) {
   Ticks sum = 0;
   for (const McTask& t : set) sum += adb_hi_left(t, delta, discard_dropped_carryover);
   return sum;

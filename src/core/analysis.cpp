@@ -9,6 +9,7 @@
 #include "core/breakpoints.hpp"
 #include "core/dbf.hpp"
 #include "core/edf.hpp"
+#include "support/rt_annotations.hpp"
 
 namespace rbs {
 
@@ -179,6 +180,41 @@ struct ResetSearch {
   }
 };
 
+/// The fused sweep proper: one merged walk over both breakpoint families.
+/// Sequences are tagged with the consumer they serve; a tick evaluates only
+/// the consumers that are both tagged on it and still searching, so a settled
+/// consumer costs nothing and shared ticks are fetched from the heap once.
+/// Returns the number of breakpoints that did real work.
+///
+/// This loop dominates every analysis call, so it is RBS_HOT_PATH: rbs_lint's
+/// rt pass keeps the whole reachable tree (merger, both searches, the
+/// dbf/adb totals) free of allocation, locking, I/O and throw. The merger and
+/// tagged-sequence setup stays with the caller -- building those vectors is
+/// the one-time cold part.
+RBS_HOT_PATH std::size_t run_fused_sweep(const TaskSet& set, TaggedBreakpointMerger& merger,
+                                         SpeedupSearch& speedup, ResetSearch& reset,
+                                         const AnalysisLimits& limits) {
+  std::size_t fused = 0;
+  while (speedup.active || reset.active) {
+    const auto point = merger.next();
+    if (!point) break;
+    bool worked = false;
+    if (speedup.active && (point->mask & kSpeedupMask) != 0)
+      speedup.step(set, point->tick, limits, &worked);
+    if (reset.active && (point->mask & kResetMask) != 0)
+      reset.step(set, point->tick, limits, &worked);
+    if (worked) ++fused;
+  }
+  // Merger exhausted with the crossing still open: the demand is constant
+  // past the last breakpoint (the separate walk's `!next` tail step).
+  if (reset.active) {
+    bool worked = false;
+    reset.step(set, std::nullopt, limits, &worked);
+    if (worked) ++fused;
+  }
+  return fused;
+}
+
 Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed, double lo_speed,
                                       const AnalysisParts& parts, const AnalysisLimits& limits) {
   if (parts.reset && (!std::isfinite(speed) || speed <= 0.0))
@@ -212,10 +248,8 @@ Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed, double l
   if (parts.reset) reset.init(set, speed, report.u_hi, limits);
 
   // --- the fused sweep -----------------------------------------------------
-  // One merged walk over both breakpoint families. Sequences are tagged with
-  // the consumer they serve; a tick evaluates only the consumers that are
-  // both tagged on it and still searching, so a settled consumer costs
-  // nothing and shared ticks are fetched from the heap once.
+  // Cold setup (the tagged-sequence vectors and the merger's heap), then the
+  // allocation-free hot loop in run_fused_sweep above.
   if (speedup.active || reset.active) {
     std::vector<TaggedSeq> seqs;
     if (speedup.active)
@@ -225,24 +259,7 @@ Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed, double l
       for (const McTask& t : set)
         for (const ArithSeq& s : adb_hi_breakpoints(t)) seqs.push_back({s, kResetMask});
     TaggedBreakpointMerger merger(seqs);
-
-    while (speedup.active || reset.active) {
-      const auto point = merger.next();
-      if (!point) break;
-      bool worked = false;
-      if (speedup.active && (point->mask & kSpeedupMask) != 0)
-        speedup.step(set, point->tick, limits, &worked);
-      if (reset.active && (point->mask & kResetMask) != 0)
-        reset.step(set, point->tick, limits, &worked);
-      if (worked) ++report.fused_breakpoints;
-    }
-    // Merger exhausted with the crossing still open: the demand is constant
-    // past the last breakpoint (the separate walk's `!next` tail step).
-    if (reset.active) {
-      bool worked = false;
-      reset.step(set, std::nullopt, limits, &worked);
-      if (worked) ++report.fused_breakpoints;
-    }
+    report.fused_breakpoints += run_fused_sweep(set, merger, speedup, reset, limits);
   }
 
   if (parts.speedup) {

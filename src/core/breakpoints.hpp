@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "support/rt_annotations.hpp"
 
 namespace rbs {
 
@@ -35,7 +36,9 @@ class BreakpointMerger {
 
   /// Next breakpoint strictly greater than all previously returned ones, or
   /// nullopt when all sequences are exhausted (only possible with singletons).
-  std::optional<Ticks> next() {
+  /// Hot: called once per breakpoint of every pseudo-polynomial walk. The
+  /// heap was sized at construction; pop-then-push never reallocates.
+  std::optional<Ticks> next() RBS_HOT_PATH {
     while (!heap_.empty()) {
       ArithSeq top = heap_.top();
       heap_.pop();
@@ -84,7 +87,8 @@ class TaggedBreakpointMerger {
   }
 
   /// Next merged breakpoint, or nullopt when every sequence is exhausted.
-  std::optional<Point> next() {
+  /// Hot: one call per merged tick of the fused analysis sweep.
+  std::optional<Point> next() RBS_HOT_PATH {
     if (heap_.empty()) return std::nullopt;
     Point p{heap_.top().at, 0};
     while (!heap_.empty() && heap_.top().at == p.tick) {

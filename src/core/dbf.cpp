@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "support/rt_annotations.hpp"
+
 namespace rbs {
 
 namespace {
@@ -53,19 +55,19 @@ Ticks dbf_hi_left(const McTask& task, Ticks delta) {
   return r + q * task.wcet(Mode::HI);
 }
 
-Ticks dbf_lo_total(const TaskSet& set, Ticks delta) {
+RBS_HOT_PATH Ticks dbf_lo_total(const TaskSet& set, Ticks delta) {
   Ticks sum = 0;
   for (const McTask& t : set) sum += dbf_lo(t, delta);
   return sum;
 }
 
-Ticks dbf_hi_total(const TaskSet& set, Ticks delta) {
+RBS_HOT_PATH Ticks dbf_hi_total(const TaskSet& set, Ticks delta) {
   Ticks sum = 0;
   for (const McTask& t : set) sum += dbf_hi(t, delta);
   return sum;
 }
 
-Ticks dbf_hi_total_left(const TaskSet& set, Ticks delta) {
+RBS_HOT_PATH Ticks dbf_hi_total_left(const TaskSet& set, Ticks delta) {
   Ticks sum = 0;
   for (const McTask& t : set) sum += dbf_hi_left(t, delta);
   return sum;

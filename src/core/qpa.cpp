@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/dbf.hpp"
+#include "support/rt_annotations.hpp"
 #include "support/tolerance.hpp"
 
 namespace rbs {
@@ -32,7 +33,9 @@ long double demand(const TaskSet& set, long double t) {
 
 }  // namespace
 
-EdfTestResult qpa_lo_test(const TaskSet& set, const EdfTestOptions& options) {
+// Hot: the whole backward iteration runs per analysis call with only stack
+// arithmetic -- rbs_lint's rt pass holds it (and the dbf totals) to that.
+RBS_HOT_PATH EdfTestResult qpa_lo_test(const TaskSet& set, const EdfTestOptions& options) {
   EdfTestResult result;
   if (set.empty()) {
     result.schedulable = true;

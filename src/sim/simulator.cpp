@@ -8,6 +8,7 @@
 
 #include "gen/rng.hpp"
 #include "sim/job.hpp"
+#include "support/rt_annotations.hpp"
 #include "support/tolerance.hpp"
 
 namespace rbs::sim {
@@ -65,7 +66,11 @@ class Engine {
         fault_rng_(cfg.faults.random.seed != 0 ? cfg.faults.random.seed
                                                : cfg.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
-  SimResult run() {
+  // Hot: the whole event loop. rbs_lint's rt pass keeps everything reachable
+  // from here allocation-free apart from amortized growth of the long-lived
+  // vectors (jobs_, the trace, scratch_ids_) -- per-step temporaries live in
+  // scratch_ids_, reserved once in init().
+  SimResult run() RBS_HOT_PATH {
     init();
     double now = 0.0;
 
@@ -106,6 +111,8 @@ class Engine {
       states_[i].earliest_next_hi = offset;
     }
     jobs_.clear();
+    scratch_ids_.clear();
+    scratch_ids_.reserve(set_.size() * 2 + 8);  // steady-state job population
     mode_ = Mode::LO;
     speed_ = cfg_.lo_speed;
     hi_since_ = 0.0;
@@ -249,7 +256,8 @@ class Engine {
   void process_events(double now) {
     // 1. Completions (only the job that just ran can newly finish, but sweep
     // all jobs: pick_running() skips finished ones by design).
-    std::vector<std::uint64_t> done;
+    std::vector<std::uint64_t>& done = scratch_ids_;
+    done.clear();
     for (const Job& j : jobs_)
       if (j.finished(kEpsWork)) done.push_back(j.id);
     for (std::uint64_t id : done) {
@@ -425,7 +433,8 @@ class Engine {
       record_event(now, TraceEvent::Kind::kFaultEngaged);
     }
 
-    std::vector<std::uint64_t> abandoned;
+    std::vector<std::uint64_t>& abandoned = scratch_ids_;
+    abandoned.clear();
     for (Job& j : jobs_) {
       if (j.finished(kEpsWork)) continue;
       const McTask& task = set_[j.task_index];
@@ -464,7 +473,8 @@ class Engine {
     throttle_pending_ = false;
     ++result_.budget_fallbacks;
     record_event(now, TraceEvent::Kind::kBudgetFallback);
-    std::vector<std::uint64_t> abandoned;
+    std::vector<std::uint64_t>& abandoned = scratch_ids_;
+    abandoned.clear();
     for (Job& j : jobs_)
       if (!j.finished(kEpsWork) && !set_[j.task_index].is_hi()) {
         abandoned.push_back(j.id);
@@ -508,6 +518,10 @@ class Engine {
 
   std::vector<TaskState> states_;
   std::vector<Job> jobs_;
+  /// Job-id scratch shared by process_events/switch_to_hi/budget_fallback:
+  /// each user clears it first and none keeps it live across a call into
+  /// another user, so one reserved buffer replaces three per-step vectors.
+  std::vector<std::uint64_t> scratch_ids_;
   Mode mode_ = Mode::LO;
   double speed_ = 1.0;
   double hi_since_ = 0.0;

@@ -1,0 +1,45 @@
+// Fixture for the real-time discipline rules: a RBS_HOT_PATH root whose
+// reachable tree allocates, locks, blocks, throws and recurses, plus the
+// escape hatches (RBS_RT_SAFE leaf, justified and reason-less RBS_RT_ESCAPE).
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "support/rt_annotations.hpp"
+
+namespace rtbad {
+
+std::mutex gate;
+
+int depth_unbounded(int n) {
+  if (n <= 0) return 0;
+  return depth_unbounded(n - 1);  // recursion cycle in the hot tree
+}
+
+int allocates(int n) {
+  std::vector<int> scratch;  // construction inside the hot tree
+  scratch.push_back(n);
+  return static_cast<int>(scratch.size());
+}
+
+RBS_RT_SAFE int audited_leaf() { return 42; }
+
+RBS_RT_ESCAPE(cold_diagnostics_never_in_steady_state) int justified(int v) {
+  std::printf("cold: %d\n", v);  // shielded: neither scanned nor descended
+  return v;
+}
+
+RBS_RT_ESCAPE() int unjustified(int v) { return v; }  // missing reason
+
+RBS_HOT_PATH int hot_step(int n) {
+  int* boxed = new int(n);
+  const std::lock_guard<std::mutex> hold(gate);
+  if (n < 0) throw n;
+  std::printf("%d\n", *boxed);
+  const int out = allocates(n) + depth_unbounded(n) + audited_leaf() +
+                  justified(n) + unjustified(*boxed);
+  delete boxed;
+  return out;
+}
+
+}  // namespace rtbad

@@ -189,14 +189,14 @@ TEST(RbsLintJsonTest, FormatJsonEscapesAndStructures) {
   EXPECT_EQ(format_json({}), "[]\n");
 }
 
-TEST(RbsLintRuleListTest, NineRulesWithSummaries) {
+TEST(RbsLintRuleListTest, TwelveRulesWithSummaries) {
   const std::vector<RuleInfo> rules = all_rules();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 12u);
   for (const RuleInfo& rule : rules) {
     EXPECT_FALSE(rule.name.empty());
     EXPECT_FALSE(rule.summary.empty()) << rule.name;
   }
-  EXPECT_EQ(all_rule_names().size(), 9u);
+  EXPECT_EQ(all_rule_names().size(), 12u);
 }
 
 TEST(RbsLintSourceTest, LockDisciplineHonorsGuardScopes) {

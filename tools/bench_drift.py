@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a committed reference.
+
+Usage:
+    bench_perf --benchmark_format=json > current.json
+    python3 tools/bench_drift.py current.json results/BENCH_perf.json [--tolerance 0.35]
+
+Benchmarks are matched by name; cpu_time is normalized to nanoseconds before
+comparison. A benchmark regresses when its current cpu_time exceeds the
+reference by more than the tolerance fraction. Exit status is 1 when any
+benchmark regresses, 0 otherwise -- CI runs this warn-only
+(`... || echo "::warning::..."`) because shared runners are too noisy for a
+hard perf gate; the committed reference is refreshed deliberately alongside
+perf-relevant changes.
+
+Only the standard library is used; there is nothing to install.
+"""
+
+import argparse
+import json
+import sys
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cpu_times(path):
+    """Returns {benchmark name: cpu_time in ns} for plain iteration runs."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = bench.get("time_unit", "ns")
+        if unit not in _TO_NS:
+            print(f"note: {bench['name']}: unknown time_unit {unit!r}, skipped")
+            continue
+        times[bench["name"]] = float(bench["cpu_time"]) * _TO_NS[unit]
+    return times
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench_perf --benchmark_format=json output")
+    parser.add_argument("reference", help="committed reference (results/BENCH_perf.json)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional cpu_time increase before a benchmark counts "
+        "as regressed (default: 0.35)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_cpu_times(args.current)
+    reference = load_cpu_times(args.reference)
+
+    regressions = []
+    width = max((len(name) for name in reference), default=10)
+    print(f"{'benchmark':<{width}}  {'ref cpu':>12}  {'cur cpu':>12}  {'delta':>8}")
+    for name in sorted(reference):
+        ref_ns = reference[name]
+        if name not in current:
+            print(f"{name:<{width}}  {ref_ns:>10.0f}ns  {'missing':>12}  {'--':>8}")
+            regressions.append((name, "missing from current run"))
+            continue
+        cur_ns = current[name]
+        delta = (cur_ns - ref_ns) / ref_ns if ref_ns > 0 else 0.0
+        flag = ""
+        if delta > args.tolerance:
+            flag = "  REGRESSED"
+            regressions.append((name, f"{delta:+.1%} vs reference"))
+        print(f"{name:<{width}}  {ref_ns:>10.0f}ns  {cur_ns:>10.0f}ns  {delta:>+7.1%}{flag}")
+
+    for name in sorted(set(current) - set(reference)):
+        print(f"note: {name}: not in reference (new benchmark?)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) beyond +{args.tolerance:.0%} tolerance:")
+        for name, why in regressions:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"\nall benchmarks within +{args.tolerance:.0%} of reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,9 +7,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 
+#include "campaign/pool.hpp"
+#include "rbs_lint/rt.hpp"
 #include "rbs_lint/semantic.hpp"
 #include "rbs_lint/token.hpp"
 
@@ -70,9 +73,12 @@ constexpr const char* kRuleRaiiGuard = "raii-guard";
 
 class Checker {
  public:
-  Checker(const std::string& path, const Lexed& lexed, const Options& options,
-          const std::vector<std::string>& extra_guarded)
-      : path_(path), lexed_(lexed), index_(build_index(lexed.tokens)) {
+  /// Takes the prebuilt semantic index by value: the extra_guarded facts are
+  /// folded into this private copy while the caller's index stays pristine
+  /// for the project-wide rt pass.
+  Checker(const std::string& path, const Lexed& lexed, FileIndex index,
+          const Options& options, const std::vector<std::string>& extra_guarded)
+      : path_(path), lexed_(lexed), index_(std::move(index)) {
     for (const std::string& r : options.rules) enabled_.insert(r);
     for (const std::string& fact : extra_guarded) {
       // "class|member|mutex" facts harvested from resolved includes.
@@ -86,7 +92,7 @@ class Checker {
       if (index_.find_guarded(member.name) == nullptr)
         index_.guarded.push_back(std::move(member));
     }
-    collect_suppressions();
+    suppressions_ = allow_comments(lexed);
   }
 
   std::vector<Diagnostic> run() {
@@ -109,25 +115,6 @@ class Checker {
  private:
   bool rule_enabled(const std::string& rule) const {
     return enabled_.empty() || enabled_.count(rule) > 0;
-  }
-
-  void collect_suppressions() {
-    for (const auto& [line, text] : lexed_.comments) {
-      std::size_t at = text.find("rbs-lint:");
-      if (at == std::string::npos) continue;
-      at = text.find("allow(", at);
-      if (at == std::string::npos) continue;
-      const std::size_t close = text.find(')', at);
-      if (close == std::string::npos) continue;
-      std::string inside = text.substr(at + 6, close - at - 6);
-      std::stringstream ss(inside);
-      std::string rule;
-      while (std::getline(ss, rule, ',')) {
-        const std::size_t b = rule.find_first_not_of(" \t");
-        const std::size_t e = rule.find_last_not_of(" \t");
-        if (b != std::string::npos) suppressions_[line].insert(rule.substr(b, e - b + 1));
-      }
-    }
   }
 
   bool suppressed(const std::string& rule, int line) const {
@@ -633,6 +620,15 @@ std::vector<RuleInfo> all_rules() {
        "async-signal-safe allowlist"},
       {kRuleRaiiGuard,
        "no bare mutex .lock()/.unlock(); locking goes through LockGuard/UniqueLock"},
+      {kRuleRtAlloc,
+       "no heap allocation (new/malloc/allocating std construction) reachable "
+       "from RBS_HOT_PATH roots"},
+      {kRuleRtBlock,
+       "no mutex/condvar operations or blocking I/O reachable from "
+       "RBS_HOT_PATH roots"},
+      {kRuleRtUnbounded,
+       "no throw, recursion cycles, or reason-less RBS_RT_ESCAPE reachable "
+       "from RBS_HOT_PATH roots"},
   };
 }
 
@@ -650,11 +646,35 @@ std::string normalize_path(const std::string& path) {
   return normal;
 }
 
+namespace {
+
+/// Appends the rt-pass diagnostics the caller's rule selection keeps.
+/// rt_check handles `// rbs-lint: allow(...)` itself; rule enabling and
+/// baselines stay the caller's business, matching the per-file rules.
+void append_rt(std::vector<Diagnostic>& diags, std::vector<Diagnostic> rt,
+               const Options& options) {
+  const std::set<std::string> enabled(options.rules.begin(), options.rules.end());
+  for (Diagnostic& d : rt)
+    if (enabled.empty() || enabled.count(d.rule) > 0) diags.push_back(std::move(d));
+}
+
+}  // namespace
+
 std::vector<Diagnostic> lint_source(const std::string& path, const std::string& text,
                                     const Options& options,
                                     const std::vector<std::string>& extra_guarded) {
   const Lexed lexed = lex(text);
-  return Checker(path, lexed, options, extra_guarded).run();
+  const FileIndex index = build_index(lexed.tokens);
+  std::vector<Diagnostic> diags = Checker(path, lexed, index, options, extra_guarded).run();
+  // Single-unit rt pass so string-driven tests and one-file invocations see
+  // the discipline rules; lint_paths runs the project-wide variant instead.
+  append_rt(diags, rt_check({{path, &lexed, &index}}), options);
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return diags;
 }
 
 std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
@@ -682,12 +702,17 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
+  files.erase(std::remove_if(files.begin(), files.end(),
+                             [&](const std::string& f) { return excluded(f, excludes); }),
+              files.end());
 
   // Guarded-member facts per header, harvested on demand when a lintable file
   // quotes it, so lock-discipline in foo.cpp sees RBS_GUARDED_BY declarations
-  // from foo.hpp.
+  // from foo.hpp. Shared across workers under --jobs; hence the mutex.
+  std::mutex facts_mutex;
   std::map<std::string, std::vector<std::string>> header_facts;
-  const auto facts_for = [&header_facts](const std::string& header) {
+  const auto facts_for = [&](const std::string& header) {
+    std::lock_guard<std::mutex> hold(facts_mutex);
     auto it = header_facts.find(header);
     if (it != header_facts.end()) return it->second;
     std::vector<std::string> facts;
@@ -703,30 +728,45 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
     return facts;
   };
 
-  for (const std::string& file : files) {
-    if (excluded(file, excludes)) continue;
+  // Per-file work: lex once, index once, run the per-file rules. The Lexed
+  // and FileIndex are kept so the project-wide rt pass reuses them instead of
+  // lexing a second time. Results live in slots indexed by the sorted file
+  // list, so output is byte-identical at any --jobs value.
+  struct Unit {
+    Lexed lexed;
+    FileIndex index;
+    std::vector<Diagnostic> diags;
+    bool indexed = false;  ///< false for unreadable files
+  };
+  std::vector<Unit> units(files.size());
+
+  const auto process = [&](std::size_t slot) {
+    const std::string& file = files[slot];
+    Unit& unit = units[slot];
     std::ifstream in(file, std::ios::binary);
     if (!in) {
-      diags.push_back({file, 0, "io-error", "cannot open file"});
-      continue;
+      unit.diags.push_back({file, 0, "io-error", "cannot open file"});
+      return;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string text = buffer.str();
+    unit.lexed = lex(text);
+    unit.index = build_index(unit.lexed.tokens);
+    unit.indexed = true;
 
     // Resolve quoted includes against the file's directory and its ancestors
     // (the tree compiles with -I src -I tools style include roots).
     std::vector<std::string> extra;
-    const Lexed pre = lex(text);
-    for (const Token& tok : pre.tokens) {
+    for (const Token& tok : unit.lexed.tokens) {
       if (tok.kind != TokKind::kInclude || tok.text.size() < 3 || tok.text.front() != '"')
         continue;
       const std::string target = tok.text.substr(1, tok.text.size() - 2);
       fs::path dir = fs::path(file).parent_path();
       for (int up = 0; up < 6; ++up) {
-        std::error_code ec;
+        std::error_code file_ec;
         const fs::path candidate = dir / target;
-        if (fs::is_regular_file(candidate, ec)) {
+        if (fs::is_regular_file(candidate, file_ec)) {
           for (std::string& fact : facts_for(normalize_path(candidate.generic_string())))
             extra.push_back(std::move(fact));
           break;
@@ -735,15 +775,44 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
         dir = dir.parent_path();
       }
     }
+    unit.diags = Checker(file, unit.lexed, unit.index, options, extra).run();
+  };
 
-    std::vector<Diagnostic> file_diags = lint_source(file, text, options, extra);
-    diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+  if (options.jobs > 1 && files.size() > 1) {
+    campaign::ThreadPool pool(options.jobs);
+    for (std::size_t slot = 0; slot < files.size(); ++slot)
+      pool.submit([&, slot] {
+        try {
+          process(slot);
+        } catch (...) {  // pool jobs must not throw; surface as a diagnostic
+          units[slot].diags.assign(
+              {{files[slot], 0, "io-error", "internal error while linting"}});
+          units[slot].indexed = false;
+        }
+      });
+    pool.wait_idle();
+  } else {
+    for (std::size_t slot = 0; slot < files.size(); ++slot) process(slot);
   }
-  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+
+  for (const Unit& unit : units)
+    diags.insert(diags.end(), unit.diags.begin(), unit.diags.end());
+
+  // Project-wide rt pass over every unit at once: RBS_HOT_PATH reachability
+  // crosses file boundaries, so it cannot run per file. Serial by design --
+  // the walk itself is cheap next to lexing.
+  std::vector<RtUnit> rt_units;
+  for (std::size_t slot = 0; slot < files.size(); ++slot)
+    if (units[slot].indexed)
+      rt_units.push_back({files[slot], &units[slot].lexed, &units[slot].index});
+  append_rt(diags, rt_check(rt_units), options);
+
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
   return diags;
 }
 

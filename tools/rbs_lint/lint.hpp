@@ -25,6 +25,13 @@
 //                      locks, allocation, stdio, throw)
 //   raii-guard         bare mutex .lock()/.unlock() outside the RAII
 //                      wrapper types
+//   rt-alloc           no heap allocation (new/malloc family, construction of
+//                      allocating std types) in functions reachable from
+//                      RBS_HOT_PATH roots (rt.hpp: project-wide call graph)
+//   rt-block           no mutex/condvar operations, RAII guard construction,
+//                      blocking I/O or sleeps reachable from RBS_HOT_PATH
+//   rt-unbounded       no throw, recursion cycles, or reason-less
+//                      RBS_RT_ESCAPE reachable from RBS_HOT_PATH
 //
 // Suppression: a comment `// rbs-lint: allow(rule)` (comma-separated list
 // accepted) silences the named rule on its own line and the next line.
@@ -53,6 +60,9 @@ struct Options {
   std::vector<std::string> rules;
   /// Path substrings to skip entirely (e.g. "lint/corpus").
   std::vector<std::string> excludes;
+  /// Worker threads for the per-file scan in lint_paths (1 = serial). Output
+  /// is byte-identical at any value; the rt pass always runs serially after.
+  unsigned jobs = 1;
 };
 
 struct RuleInfo {

@@ -1,7 +1,8 @@
 // CLI driver for rbs_lint. Exit codes: 0 clean, 1 violations, 2 usage/IO.
 //
 //   rbs_lint [--rules=a,b,c] [--exclude=fragment]... [--format=text|json]
-//            [--baseline=file] [--write-baseline=file] [--list-rules] path...
+//            [--baseline=file] [--write-baseline=file] [--jobs=N]
+//            [--list-rules] path...
 //
 // Paths may be files or directories (recursed for *.hpp/*.cpp/*.h/*.cc);
 // positional paths and --exclude fragments are normalized (./ stripped,
@@ -10,6 +11,7 @@
 // --write-baseline emits the current findings in that format and exits 0.
 // Wired into ctest under the label `lint`; see docs/static-analysis.md.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -23,7 +25,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: rbs_lint [--rules=a,b,c] [--exclude=fragment]... "
                "[--format=text|json] [--baseline=file] [--write-baseline=file] "
-               "[--list-rules] path...\n");
+               "[--jobs=N] [--list-rules] path...\n");
 }
 
 std::vector<std::string> split_commas(const std::string& csv) {
@@ -73,6 +75,16 @@ int main(int argc, char** argv) {
     }
     if (arg.rfind("--write-baseline=", 0) == 0) {
       write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      const long jobs = std::strtol(arg.c_str() + 7, &end, 10);
+      if (end == nullptr || *end != '\0' || jobs < 1 || jobs > 256) {
+        usage();
+        return 2;
+      }
+      options.jobs = static_cast<unsigned>(jobs);
       continue;
     }
     if (arg.rfind("--", 0) == 0) {

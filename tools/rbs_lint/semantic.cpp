@@ -81,6 +81,10 @@ struct HeadInfo {
   std::string qualifier;                    ///< Foo in `Foo::bar(...)`
   std::vector<std::string> held_mutexes;    ///< RBS_REQUIRES/ACQUIRE/RELEASE args
   bool no_analysis = false;
+  bool hot_path = false;
+  bool rt_safe = false;
+  bool rt_escape = false;
+  bool rt_escape_has_reason = false;
 };
 
 HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size_t end) {
@@ -152,9 +156,15 @@ HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size
   if (first_paren == SIZE_MAX || has_lambda_intro) return info;  // block
 
   // Function candidate: first `ident (` with both angle and paren depth 0.
+  // Annotation macros are stepped over with their argument groups, so a
+  // leading `RBS_RT_ESCAPE(reason) int f(...)` still names f, not the macro.
   int angle = 0, paren = 0;
   std::size_t name_at = SIZE_MAX;
   for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (t[i].kind == TokKind::kIdent && is_annotation_ident(t[i].text)) {
+      if (is_punct(t[i + 1], "(")) i = skip_group(t, i + 1, "(", ")") - 1;
+      continue;
+    }
     if (is_punct(t[i], "<")) ++angle;
     else if (is_punct(t[i], ">")) angle = std::max(0, angle - 1);
     else if (is_punct(t[i], "(")) ++paren;
@@ -215,7 +225,27 @@ HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size
         info.held_mutexes.push_back(std::move(arg));
     }
   }
+  // Rt flags may sit last in the head (nothing follows before the '{' / ';'),
+  // so this scan covers the full range, unlike the k + 1 loop above.
+  for (std::size_t k = begin; k < end; ++k) {
+    if (t[k].kind != TokKind::kIdent) continue;
+    if (t[k].text == "RBS_HOT_PATH") info.hot_path = true;
+    if (t[k].text == "RBS_RT_SAFE") info.rt_safe = true;
+    if (t[k].text == "RBS_RT_ESCAPE") {
+      info.rt_escape = true;
+      info.rt_escape_has_reason = !annotation_arguments(t, k + 1).empty();
+    }
+  }
   return info;
+}
+
+bool has_rt_annotation(const std::vector<Token>& t, std::size_t begin, std::size_t end) {
+  for (std::size_t k = begin; k < end; ++k)
+    if (t[k].kind == TokKind::kIdent &&
+        (t[k].text == "RBS_HOT_PATH" || t[k].text == "RBS_RT_SAFE" ||
+         t[k].text == "RBS_RT_ESCAPE"))
+      return true;
+  return false;
 }
 
 }  // namespace
@@ -262,6 +292,10 @@ FileIndex build_index(const std::vector<Token>& tokens) {
         fn.line = tok.line;
         fn.held_mutexes = std::move(head.held_mutexes);
         fn.no_analysis = head.no_analysis;
+        fn.hot_path = head.hot_path;
+        fn.rt_safe = head.rt_safe;
+        fn.rt_escape = head.rt_escape;
+        fn.rt_escape_has_reason = head.rt_escape_has_reason;
         scope.function = index.functions.size();
         index.functions.push_back(std::move(fn));
       }
@@ -279,6 +313,24 @@ FileIndex build_index(const std::vector<Token>& tokens) {
       continue;
     }
     if (is_punct(tok, ";")) {
+      // Harvest rt-annotated function *declarations* (`void step() RBS_HOT_PATH;`
+      // in a class body or header). Heads without an rt annotation are never
+      // classified here, so ordinary call statements cannot misfire.
+      if (has_rt_annotation(tokens, head_start, i)) {
+        HeadInfo head = classify_head(tokens, head_start, i);
+        if (head.kind == Scope::Kind::kFunction &&
+            (head.hot_path || head.rt_safe || head.rt_escape)) {
+          RtDecl decl;
+          decl.class_name = !head.qualifier.empty() ? head.qualifier : enclosing_class();
+          decl.name = head.name;
+          decl.hot_path = head.hot_path;
+          decl.rt_safe = head.rt_safe;
+          decl.rt_escape = head.rt_escape;
+          decl.rt_escape_has_reason = head.rt_escape_has_reason;
+          decl.line = tok.line;
+          index.rt_decls.push_back(std::move(decl));
+        }
+      }
       head_start = i + 1;
       continue;
     }

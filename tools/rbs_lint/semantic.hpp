@@ -50,12 +50,33 @@ struct FunctionInfo {
   /// RBS_ACQUIRE / RBS_RELEASE, read from the definition site.
   std::vector<std::string> held_mutexes;
   bool no_analysis = false;  ///< RBS_NO_THREAD_SAFETY_ANALYSIS on the definition
+
+  // Real-time discipline flags (support/rt_annotations.hpp), read from the
+  // definition site; rt.cpp merges in declaration-site annotations too.
+  bool hot_path = false;   ///< RBS_HOT_PATH: a root of the rt reachability walk
+  bool rt_safe = false;    ///< RBS_RT_SAFE: audited leaf, not scanned or descended
+  bool rt_escape = false;  ///< RBS_RT_ESCAPE(reason): justified exception
+  bool rt_escape_has_reason = false;  ///< the escape carried a non-empty reason
+};
+
+/// A function *declaration* (no body) carrying rt annotations, e.g.
+/// `void step() RBS_HOT_PATH;` in a class or header. rt.cpp matches these to
+/// definitions by (class, name) so annotating either site is enough.
+struct RtDecl {
+  std::string class_name;  ///< enclosing class or out-of-line qualifier; "" for free
+  std::string name;
+  bool hot_path = false;
+  bool rt_safe = false;
+  bool rt_escape = false;
+  bool rt_escape_has_reason = false;
+  int line = 0;
 };
 
 /// Declaration index of one lexed file.
 struct FileIndex {
   std::vector<GuardedMember> guarded;
   std::vector<FunctionInfo> functions;
+  std::vector<RtDecl> rt_decls;
 
   /// First guarded member with this identifier, or nullptr.
   const GuardedMember* find_guarded(const std::string& member) const;

@@ -236,4 +236,28 @@ class Lexer {
 
 Lexed lex(const std::string& text) { return Lexer(text).run(); }
 
+std::map<int, std::set<std::string>> allow_comments(const Lexed& lexed) {
+  std::map<int, std::set<std::string>> allowed;
+  for (const auto& [line, text] : lexed.comments) {
+    std::size_t at = text.find("rbs-lint:");
+    if (at == std::string::npos) continue;
+    at = text.find("allow(", at);
+    if (at == std::string::npos) continue;
+    const std::size_t close = text.find(')', at);
+    if (close == std::string::npos) continue;
+    std::size_t pos = at + 6;
+    while (pos < close) {
+      std::size_t comma = text.find(',', pos);
+      if (comma == std::string::npos || comma > close) comma = close;
+      const std::size_t b = text.find_first_not_of(" \t", pos);
+      if (b != std::string::npos && b < comma) {
+        std::size_t e = text.find_last_not_of(" \t", comma - 1);
+        allowed[line].insert(text.substr(b, e - b + 1));
+      }
+      pos = comma + 1;
+    }
+  }
+  return allowed;
+}
+
 }  // namespace rbs::lint

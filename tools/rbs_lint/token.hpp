@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,5 +32,10 @@ struct Lexed {
 
 /// Lexes one translation unit's text.
 Lexed lex(const std::string& text);
+
+/// Parsed `// rbs-lint: allow(rule, ...)` comments: line -> suppressed rule
+/// names. Shared by the per-file rule engine (lint.cpp) and the project-wide
+/// rt pass (rt.cpp), which must honor the same suppression syntax.
+std::map<int, std::set<std::string>> allow_comments(const Lexed& lexed);
 
 }  // namespace rbs::lint
