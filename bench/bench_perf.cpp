@@ -257,6 +257,8 @@ void BM_TaskGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskGeneration);
 
+// One-shot legacy entry point: each iteration pays validation plus a cold
+// kernel (fresh calendar/pool allocations), the pre-facade usage pattern.
 void BM_SimulatorThroughput(benchmark::State& state) {
   const TaskSet set = make_set(17, 0.6, -1.0, 2.0);
   sim::SimConfig cfg;
@@ -275,6 +277,29 @@ void BM_SimulatorThroughput(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorThroughput);
+
+// The facade as campaigns use it: one long-lived Simulator, so the
+// calendar, job pool and scratch buffers are warm and the steady state is
+// allocation-free. Same workload as BM_SimulatorThroughput.
+void BM_EventKernelThroughput(benchmark::State& state) {
+  const TaskSet set = make_set(17, 0.6, -1.0, 2.0);
+  sim::SimConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.hi_speed = 2.0;
+  cfg.demand.overrun_probability = 0.3;
+  cfg.release_jitter = 0.1;
+  sim::Simulator simulator;
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const sim::SimReport r = simulator.run(set, cfg).value();
+    jobs += r.metrics.jobs_released;
+    benchmark::DoNotOptimize(r.metrics.jobs_completed);
+  }
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventKernelThroughput);
 
 // End-to-end campaign throughput (generate + prepare + fused analyze per
 // item) at 1/2/4/8 workers. On a single-core host the >1 args merely

@@ -32,7 +32,7 @@
 
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulate.hpp"
 
 namespace {
 
@@ -334,7 +334,10 @@ int main(int argc, char** argv) {
               cfg.demand.overrun_probability = 1.0;  // overrun whenever permitted
               cfg.min_overrun_separation = t_o;
               cfg.seed = rng.fork_seed();
-              const sim::SimResult r = sim::simulate(*set, cfg);
+              // One-shot run through the redesigned facade; workers may run
+              // concurrently, so each run gets its own engine.
+              const sim::SimResult r =
+                  sim::Simulator{}.run(*set, cfg).value().metrics;
               double boosted = 0.0;
               for (double d : r.hi_dwell_times) boosted += d;
               item.counted = true;

@@ -1,0 +1,19 @@
+#include "sim/event_queue.hpp"
+
+namespace rbs::sim {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCompletion: return "completion";
+    case EventKind::kBoostLatencyExpiry: return "boost-latency-expiry";
+    case EventKind::kThrottleDown: return "throttle-down";
+    case EventKind::kTurboBudgetExpiry: return "turbo-budget-expiry";
+    case EventKind::kBudgetExhaustion: return "budget-exhaustion";
+    case EventKind::kBudgetPoll: return "budget-poll";
+    case EventKind::kRelease: return "release";
+    case EventKind::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+}  // namespace rbs::sim

@@ -1,0 +1,122 @@
+// Deterministic binary-heap calendar for the event-driven simulator kernel.
+//
+// The queue orders plain-old-data events by (time, kind, index, stamp) -- a
+// strict total order over distinct entries, so pop order (and therefore every
+// simulated run) is byte-reproducible regardless of push order. Invalidation
+// is lazy: producers never search the heap; they bump an epoch counter and
+// push a replacement, and consumers drop entries whose stamp no longer
+// matches the live epoch ("stale" events). The heap is a flat vector with
+// hand-rolled sifts; all hot operations are inline and allocation-free after
+// reserve() (rule rt-alloc allows growth of pre-sized containers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rbs::sim {
+
+/// Calendar entry types, ordered by same-instant dispatch priority (the
+/// second tie-break key after time). The order mirrors the kernel's fixed
+/// processing sequence: completions and episode timers resolve before the
+/// budget monitor, which resolves before new releases. Mode switches and
+/// idle-instant resets are *derived* transitions -- they happen while
+/// processing one of these wake-ups and are never scheduled ahead of time
+/// (see docs/simulator.md).
+enum class EventKind : std::uint8_t {
+  kCompletion = 0,        ///< running job exhausts its demand
+  kBoostLatencyExpiry,    ///< DVFS transition completes, boost engages
+  kThrottleDown,          ///< injected throttle collapses the boost
+  kTurboBudgetExpiry,     ///< max_boost_duration elapses -> budget fallback
+  kBudgetExhaustion,      ///< running HI job crosses its C(LO) budget
+  kBudgetPoll,            ///< polled budget monitor inspects crossed jobs
+  kRelease,               ///< task releases its next job
+  kDeadline,              ///< earliest pending absolute deadline
+};
+
+[[nodiscard]] std::string to_string(EventKind kind);
+
+/// One calendar entry. `index` is the task index for releases and 0 for
+/// singleton wake-ups; `stamp` is the producer epoch used for lazy
+/// invalidation and as the final tie-break key.
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kCompletion;
+  std::uint32_t index = 0;
+  std::uint64_t stamp = 0;
+};
+
+/// `a` dispatches strictly before `b`.
+[[nodiscard]] inline bool event_before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.index != b.index) return a.index < b.index;
+  return a.stamp < b.stamp;
+}
+
+class EventQueue {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  void clear() {
+    heap_.clear();
+    pushes_ = pops_ = 0;
+    peak_size_ = 0;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Smallest entry by event_before. Precondition: !empty().
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  void push(const Event& e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+    ++pushes_;
+    if (heap_.size() > peak_size_) peak_size_ = heap_.size();
+  }
+
+  /// Removes the top entry. Precondition: !empty().
+  void pop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    ++pops_;
+  }
+
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] std::uint64_t pops() const { return pops_; }
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!event_before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t best = left;
+      if (right < n && event_before(heap_[right], heap_[left])) best = right;
+      if (!event_before(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::size_t peak_size_ = 0;
+};
+
+}  // namespace rbs::sim

@@ -67,4 +67,8 @@ struct SimResult {
   }
 };
 
+/// Facade-era name for the metrics of one run (SimReport::metrics). SimResult
+/// remains the canonical definition for source compatibility.
+using SimMetrics = SimResult;
+
 }  // namespace rbs::sim

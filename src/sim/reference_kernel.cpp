@@ -1,50 +1,21 @@
-#include "sim/simulator.hpp"
+// Legacy stepping kernel, kept byte-for-byte as the differential-test
+// oracle (see reference_kernel.hpp). The event kernel in event_kernel.cpp
+// must reproduce this engine's SimResult exactly -- including the RNG draw
+// order (initial offsets in task order, then per-release jitter and demand
+// draws in release order) and the floating-point accumulation order of
+// busy_time and response-time sums.
+#include "sim/reference_kernel.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <stdexcept>
 #include <vector>
 
 #include "gen/rng.hpp"
 #include "sim/job.hpp"
-#include "support/rt_annotations.hpp"
 #include "support/tolerance.hpp"
 
 namespace rbs::sim {
-
-std::string to_string(TraceEvent::Kind kind) {
-  switch (kind) {
-    case TraceEvent::Kind::kRelease: return "release";
-    case TraceEvent::Kind::kCompletion: return "completion";
-    case TraceEvent::Kind::kOverrunTrigger: return "overrun";
-    case TraceEvent::Kind::kModeSwitchHi: return "switch->HI";
-    case TraceEvent::Kind::kReset: return "reset->LO";
-    case TraceEvent::Kind::kDeadlineMiss: return "MISS";
-    case TraceEvent::Kind::kJobAbandoned: return "abandoned";
-    case TraceEvent::Kind::kBudgetFallback: return "budget-fallback";
-    case TraceEvent::Kind::kFaultEngaged: return "fault";
-    case TraceEvent::Kind::kThrottleDown: return "throttle";
-    case TraceEvent::Kind::kUndetectedOverrun: return "undetected-overrun";
-  }
-  return "?";
-}
-
-bool parse_event_kind(const std::string& name, TraceEvent::Kind& out) {
-  using Kind = TraceEvent::Kind;
-  static constexpr Kind kAll[] = {
-      Kind::kRelease,       Kind::kCompletion,     Kind::kOverrunTrigger,
-      Kind::kModeSwitchHi,  Kind::kReset,          Kind::kDeadlineMiss,
-      Kind::kJobAbandoned,  Kind::kBudgetFallback, Kind::kFaultEngaged,
-      Kind::kThrottleDown,  Kind::kUndetectedOverrun,
-  };
-  for (Kind k : kAll)
-    if (to_string(k) == name) {
-      out = k;
-      return true;
-    }
-  return false;
-}
 
 namespace {
 
@@ -66,11 +37,9 @@ class Engine {
         fault_rng_(cfg.faults.random.seed != 0 ? cfg.faults.random.seed
                                                : cfg.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
-  // Hot: the whole event loop. rbs_lint's rt pass keeps everything reachable
-  // from here allocation-free apart from amortized growth of the long-lived
-  // vectors (jobs_, the trace, scratch_ids_) -- per-step temporaries live in
-  // scratch_ids_, reserved once in init().
-  SimResult run() RBS_HOT_PATH {
+  // Test-only oracle: exempt from the hot-path discipline (the production
+  // event kernel carries the RBS_HOT_PATH annotation instead).
+  SimResult run() {
     init();
     double now = 0.0;
 
@@ -532,69 +501,13 @@ class Engine {
   SimResult result_;
 };
 
-bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
-
 }  // namespace
 
-Status validate_config(const TaskSet& set, const SimConfig& cfg) {
-  if (!std::isfinite(cfg.horizon) || cfg.horizon <= 0.0)
-    return Status::error("config: horizon must be finite and > 0");
-  if (!std::isfinite(cfg.lo_speed) || cfg.lo_speed <= 0.0)
-    return Status::error("config: lo_speed must be finite and > 0");
-  if (!std::isfinite(cfg.hi_speed) || cfg.hi_speed <= 0.0)
-    return Status::error("config: hi_speed must be finite and > 0");
-  if (!finite_nonneg(cfg.speed_change_latency))
-    return Status::error("config: speed_change_latency must be finite and >= 0");
-  if (!finite_nonneg(cfg.release_jitter))
-    return Status::error("config: release_jitter must be finite and >= 0");
-  if (!finite_nonneg(cfg.min_overrun_separation))
-    return Status::error("config: min_overrun_separation must be finite and >= 0");
-  if (!finite_nonneg(cfg.initial_offset_spread))
-    return Status::error("config: initial_offset_spread must be finite and >= 0");
-  if (!finite_nonneg(cfg.max_boost_duration))
-    return Status::error("config: max_boost_duration must be finite and >= 0");
-  if (!std::isfinite(cfg.demand.overrun_probability) || cfg.demand.overrun_probability < 0.0 ||
-      cfg.demand.overrun_probability > 1.0)
-    return Status::error("config: overrun_probability must lie in [0, 1]");
-  if (!finite_nonneg(cfg.demand.base_fraction_min) || !finite_nonneg(cfg.demand.base_fraction_max))
-    return Status::error("config: demand base fractions must be finite and >= 0");
-
-  if (!cfg.scripted_arrivals.empty()) {
-    if (cfg.scripted_arrivals.size() != set.size())
-      return Status::error("config: scripted_arrivals has " +
-                           std::to_string(cfg.scripted_arrivals.size()) + " entries for " +
-                           std::to_string(set.size()) + " tasks");
-    for (std::size_t i = 0; i < cfg.scripted_arrivals.size(); ++i) {
-      double prev = -1.0;
-      for (const SimConfig::ScriptedJob& j : cfg.scripted_arrivals[i]) {
-        if (!finite_nonneg(j.release))
-          return Status::error("config: scripted release of task " + std::to_string(i) +
-                               " must be finite and >= 0");
-        if (!std::isfinite(j.demand) || j.demand <= 0.0)
-          return Status::error("config: scripted demand of task " + std::to_string(i) +
-                               " must be finite and > 0");
-        if (j.release < prev)
-          return Status::error("config: scripted releases of task " + std::to_string(i) +
-                               " must be non-decreasing");
-        prev = j.release;
-      }
-    }
-  }
-
-  return validate(cfg.faults, cfg.lo_speed, cfg.hi_speed);
-}
-
-Expected<SimResult> try_simulate(const TaskSet& set, const SimConfig& config) {
+Expected<SimResult> reference_simulate(const TaskSet& set, const SimConfig& config) {
   const Status status = validate_config(set, config);
   if (!status) return status;
   Engine engine(set, config);
   return engine.run();
-}
-
-SimResult simulate(const TaskSet& set, const SimConfig& config) {
-  Expected<SimResult> result = try_simulate(set, config);
-  if (!result) throw std::invalid_argument("simulate: " + result.error_message());
-  return std::move(result).value();
 }
 
 }  // namespace rbs::sim

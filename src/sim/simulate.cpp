@@ -1,0 +1,17 @@
+#include "sim/simulate.hpp"
+
+namespace rbs::sim {
+
+Expected<SimReport> Simulator::run(const TaskSet& set, const SimConfig& config,
+                                   const SimLimits& limits) {
+  if (Status status = validate_config(set, config); !status) return status;
+  if (Status status = validate_limits(limits); !status) return status;
+  return kernel_.run(set, config, limits);
+}
+
+Expected<SimReport> simulate(const SimRequest& request) {
+  Simulator simulator;
+  return simulator.run(request);
+}
+
+}  // namespace rbs::sim

@@ -1,0 +1,59 @@
+// Facade of the simulation subsystem, mirroring core/analysis.hpp's
+// request/report surface.
+//
+//   SimRequest request;
+//   request.set = make_task_set(...);
+//   request.config.horizon = 1e6;
+//   auto report = simulate(request);
+//   if (!report) { /* typed Status, no exceptions */ }
+//   else use(report.value().metrics);
+//
+// Validation (validate_config + validate_limits) happens here, before any
+// event-loop work; the kernel itself assumes pre-validated inputs. For
+// campaigns, keep one `Simulator` alive and call run() repeatedly -- the
+// kernel reuses its calendar, job pool and scratch buffers across runs, so
+// the steady state is allocation-free.
+#pragma once
+
+#include "core/task.hpp"
+#include "sim/config.hpp"
+#include "sim/event_kernel.hpp"
+#include "sim/metrics.hpp"
+#include "support/status.hpp"
+
+namespace rbs::sim {
+
+/// One self-contained simulation request (owns its inputs), in the spirit of
+/// core/analysis's AnalysisRequest. Borrowing overloads of Simulator::run
+/// exist for callers that already hold a TaskSet.
+struct SimRequest {
+  TaskSet set;
+  SimConfig config;
+  SimLimits limits;
+};
+
+/// Reusable simulation engine. Each instance owns one EventKernel (calendar,
+/// job pool, scratch buffers); running many requests through the same
+/// instance performs no steady-state allocation. Not thread-safe -- give
+/// each worker thread its own Simulator.
+class Simulator {
+ public:
+  /// Validates and runs `request`. Returns a typed error (never throws, never
+  /// enters the event loop) on an invalid configuration or limits.
+  [[nodiscard]] Expected<SimReport> run(const SimRequest& request) {
+    return run(request.set, request.config, request.limits);
+  }
+
+  /// Borrowing overload: simulate `set` under `config` within `limits`.
+  [[nodiscard]] Expected<SimReport> run(const TaskSet& set, const SimConfig& config,
+                                        const SimLimits& limits = {});
+
+ private:
+  EventKernel kernel_;
+};
+
+/// One-shot convenience: construct a kernel, run, discard it. Campaigns
+/// should prefer a long-lived Simulator.
+[[nodiscard]] Expected<SimReport> simulate(const SimRequest& request);
+
+}  // namespace rbs::sim

@@ -89,4 +89,13 @@ struct WatchdogReport {
 [[nodiscard]] WatchdogReport check_trace(const TaskSet& set, const SimConfig& cfg, const SimResult& result,
                            const WatchdogOptions& opts = {});
 
+/// Facade-report overload: checks the metrics of a SimReport produced by
+/// sim::simulate(). Incomplete runs (report.completed == false) are checked
+/// against their honest prefix horizon.
+[[nodiscard]] inline WatchdogReport check_trace(const TaskSet& set, const SimConfig& cfg,
+                                                const SimReport& report,
+                                                const WatchdogOptions& opts = {}) {
+  return check_trace(set, cfg, report.metrics, opts);
+}
+
 }  // namespace rbs::sim

@@ -1,0 +1,394 @@
+// Differential suite: the event-driven kernel (sim/simulate.hpp) against the
+// retired stepping engine (sim/reference_kernel.hpp, the oracle).
+//
+// The rewrite's contract is not "statistically similar" but *bit-identical*:
+// both kernels must visit the same instants, consume the RNG streams in the
+// same order and accumulate the same floating-point sums, so every field of
+// SimMetrics -- and the full recorded trace -- compares equal with ==, no
+// tolerances. A seeded corpus of generated task sets crossed with every
+// protocol feature (jitter, offsets, faults, polled detection, DVFS latency,
+// turbo budget, scripted arrivals, degraded service, LO overload) keeps both
+// code paths honest; a campaign-invariance test pins the worker-count
+// determinism contract on top of the new facade.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "core/closed_form.hpp"
+#include "core/tuning.hpp"
+#include "gen/taskgen.hpp"
+#include "sim/reference_kernel.hpp"
+#include "sim/simulate.hpp"
+
+namespace rbs::sim {
+namespace {
+
+TaskSet make_set(std::uint64_t seed, double u_bound) {
+  Rng rng(seed);
+  GenParams params;
+  params.u_bound = u_bound;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto skeleton = generate_task_set(params, rng);
+    if (!skeleton) continue;
+    const MinXResult mx = min_x_for_lo(*skeleton);
+    if (!mx.feasible) continue;
+    return skeleton->materialize(mx.x, 2.0);
+  }
+  ADD_FAILURE() << "could not generate task set for seed " << seed;
+  return TaskSet({McTask::lo("fallback", 1, 10, 10)});
+}
+
+void expect_identical(const SimMetrics& a, const SimMetrics& b, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.jobs_abandoned, b.jobs_abandoned);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.mode_switches, b.mode_switches);
+  EXPECT_EQ(a.budget_fallbacks, b.budget_fallbacks);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.throttle_downs, b.throttle_downs);
+  EXPECT_EQ(a.undetected_overruns, b.undetected_overruns);
+  EXPECT_EQ(a.ended_in_hi_mode, b.ended_in_hi_mode);
+  EXPECT_EQ(a.busy_time, b.busy_time);  // bit-exact, not NEAR
+  EXPECT_EQ(a.horizon, b.horizon);
+
+  ASSERT_EQ(a.misses.size(), b.misses.size());
+  for (std::size_t i = 0; i < a.misses.size(); ++i) {
+    EXPECT_EQ(a.misses[i].task_index, b.misses[i].task_index) << "miss " << i;
+    EXPECT_EQ(a.misses[i].job_id, b.misses[i].job_id) << "miss " << i;
+    EXPECT_EQ(a.misses[i].deadline, b.misses[i].deadline) << "miss " << i;
+    EXPECT_EQ(a.misses[i].mode, b.misses[i].mode) << "miss " << i;
+  }
+
+  ASSERT_EQ(a.task_stats.size(), b.task_stats.size());
+  for (std::size_t i = 0; i < a.task_stats.size(); ++i) {
+    EXPECT_EQ(a.task_stats[i].released, b.task_stats[i].released) << "task " << i;
+    EXPECT_EQ(a.task_stats[i].completed, b.task_stats[i].completed) << "task " << i;
+    EXPECT_EQ(a.task_stats[i].misses, b.task_stats[i].misses) << "task " << i;
+    EXPECT_EQ(a.task_stats[i].max_response, b.task_stats[i].max_response) << "task " << i;
+    EXPECT_EQ(a.task_stats[i].total_response, b.task_stats[i].total_response) << "task " << i;
+  }
+
+  ASSERT_EQ(a.hi_dwell_times.size(), b.hi_dwell_times.size());
+  for (std::size_t i = 0; i < a.hi_dwell_times.size(); ++i)
+    EXPECT_EQ(a.hi_dwell_times[i], b.hi_dwell_times[i]) << "dwell " << i;
+
+  ASSERT_EQ(a.trace.segments.size(), b.trace.segments.size());
+  for (std::size_t i = 0; i < a.trace.segments.size(); ++i) {
+    const TraceSegment& sa = a.trace.segments[i];
+    const TraceSegment& sb = b.trace.segments[i];
+    EXPECT_EQ(sa.start, sb.start) << "segment " << i;
+    EXPECT_EQ(sa.end, sb.end) << "segment " << i;
+    EXPECT_EQ(sa.task_index, sb.task_index) << "segment " << i;
+    EXPECT_EQ(sa.job_id, sb.job_id) << "segment " << i;
+    EXPECT_EQ(sa.speed, sb.speed) << "segment " << i;
+    EXPECT_EQ(sa.mode, sb.mode) << "segment " << i;
+  }
+  ASSERT_EQ(a.trace.events.size(), b.trace.events.size());
+  for (std::size_t i = 0; i < a.trace.events.size(); ++i) {
+    const TraceEvent& ea = a.trace.events[i];
+    const TraceEvent& eb = b.trace.events[i];
+    EXPECT_EQ(ea.time, eb.time) << "event " << i;
+    EXPECT_EQ(ea.kind, eb.kind) << "event " << i << " (" << to_string(ea.kind) << " vs "
+                                << to_string(eb.kind) << ")";
+    EXPECT_EQ(ea.task_index, eb.task_index) << "event " << i;
+    EXPECT_EQ(ea.job_id, eb.job_id) << "event " << i;
+  }
+  ASSERT_EQ(a.trace.jobs.size(), b.trace.jobs.size());
+  for (std::size_t i = 0; i < a.trace.jobs.size(); ++i) {
+    EXPECT_EQ(a.trace.jobs[i].task_index, b.trace.jobs[i].task_index) << "job " << i;
+    EXPECT_EQ(a.trace.jobs[i].job_id, b.trace.jobs[i].job_id) << "job " << i;
+    EXPECT_EQ(a.trace.jobs[i].release, b.trace.jobs[i].release) << "job " << i;
+    EXPECT_EQ(a.trace.jobs[i].demand, b.trace.jobs[i].demand) << "job " << i;
+  }
+}
+
+SimMetrics run_both_and_compare(const TaskSet& set, const SimConfig& config,
+                                const std::string& label) {
+  const Expected<SimMetrics> oracle = reference_simulate(set, config);
+  EXPECT_TRUE(oracle.is_ok()) << label << ": oracle rejected config: "
+                              << oracle.error_message();
+  if (!oracle.is_ok()) return SimMetrics{};
+  Simulator simulator;
+  const Expected<SimReport> report = simulator.run(set, config);
+  EXPECT_TRUE(report.is_ok()) << label << ": facade rejected config: "
+                              << report.error_message();
+  if (!report.is_ok()) return SimMetrics{};
+  EXPECT_TRUE(report.value().completed) << label;
+  EXPECT_EQ(report.value().termination, SimTermination::kHorizon) << label;
+  expect_identical(report.value().metrics, oracle.value(), label);
+  return oracle.value();
+}
+
+/// The feature matrix: each entry turns on one protocol dimension (or an
+/// adversarial combination) on top of a common overloadable base.
+std::vector<std::pair<std::string, SimConfig>> config_corpus() {
+  std::vector<std::pair<std::string, SimConfig>> corpus;
+  SimConfig base;
+  base.horizon = 20000.0;
+  base.hi_speed = 2.0;
+  base.demand.overrun_probability = 0.3;
+  base.record_trace = true;
+
+  corpus.emplace_back("periodic-overruns", base);
+
+  {
+    SimConfig cfg = base;
+    cfg.release_jitter = 0.2;
+    cfg.initial_offset_spread = 0.5;
+    corpus.emplace_back("jitter+offsets", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.min_overrun_separation = 500.0;
+    cfg.demand.overrun_shape = DemandModel::OverrunShape::kUniform;
+    corpus.emplace_back("separation+uniform-overruns", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.demand.base_fraction_min = 0.4;
+    cfg.demand.base_fraction_max = 1.2;  // eligible-without-overrun draws
+    corpus.emplace_back("variable-demand", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.speed_change_latency = 3.0;
+    cfg.discard_dropped_carryover = true;
+    corpus.emplace_back("dvfs-latency+discard", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.max_boost_duration = 40.0;  // force turbo-budget fallbacks
+    corpus.emplace_back("turbo-budget", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.faults.detection_period = 50.0;  // coarse polled budget monitor
+    // Uniform overruns give demands just past C(LO): some jobs finish
+    // before the next poll, exercising the undetected-overrun path.
+    cfg.demand.overrun_shape = DemandModel::OverrunShape::kUniform;
+    corpus.emplace_back("polled-detection", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.faults.random.p_deny = 0.2;
+    cfg.faults.random.p_partial = 0.3;
+    cfg.faults.random.partial_min = 0.3;
+    cfg.faults.random.partial_max = 0.9;
+    cfg.faults.random.p_late = 0.3;
+    cfg.faults.random.late_min = 1.0;
+    cfg.faults.random.late_max = 10.0;
+    cfg.faults.random.p_throttle = 0.2;
+    cfg.faults.random.throttle_after_min = 5.0;
+    cfg.faults.random.throttle_after_max = 30.0;
+    cfg.speed_change_latency = 1.0;
+    corpus.emplace_back("random-faults", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.lo_speed = 1.5;
+    cfg.hi_speed = 1.2;  // slowdown systems (paper's Example 1, s_min < 1)
+    corpus.emplace_back("hi-slower-than-lo", cfg);
+  }
+  {
+    SimConfig cfg = base;
+    cfg.horizon = 5000.0;
+    cfg.demand.overrun_probability = 0.9;  // overload: frequent switches, misses
+    cfg.release_jitter = 0.05;
+    cfg.max_boost_duration = 25.0;
+    cfg.faults.detection_period = 4.0;
+    cfg.faults.random.p_deny = 0.5;
+    corpus.emplace_back("adversarial-combination", cfg);
+  }
+  return corpus;
+}
+
+TEST(DifferentialTest, EventKernelMatchesOracleAcrossCorpus) {
+  const auto corpus = config_corpus();
+  // Coverage tallies: the corpus is only meaningful if it actually drives
+  // every protocol dimension it claims to cross.
+  std::uint64_t switches = 0, fallbacks = 0, faults = 0, misses = 0, throttles = 0,
+                abandoned = 0, undetected = 0;
+  for (std::uint64_t set_seed : {17u, 23u, 41u}) {
+    const TaskSet set = make_set(set_seed, 0.6);
+    for (const auto& [name, proto] : corpus) {
+      for (std::uint64_t sim_seed = 1; sim_seed <= 3; ++sim_seed) {
+        SimConfig cfg = proto;
+        cfg.seed = set_seed * 100 + sim_seed;
+        const SimMetrics metrics =
+            run_both_and_compare(set, cfg,
+                                 name + " set=" + std::to_string(set_seed) +
+                                     " seed=" + std::to_string(cfg.seed));
+        switches += metrics.mode_switches;
+        fallbacks += metrics.budget_fallbacks;
+        faults += metrics.faults_injected;
+        misses += metrics.misses.size();
+        throttles += metrics.throttle_downs;
+        abandoned += metrics.jobs_abandoned;
+        undetected += metrics.undetected_overruns;
+      }
+    }
+  }
+  EXPECT_GT(switches, 0u) << "corpus never switched to HI mode";
+  EXPECT_GT(fallbacks, 0u) << "corpus never hit the turbo budget";
+  EXPECT_GT(faults, 0u) << "corpus never injected a fault";
+  EXPECT_GT(misses, 0u) << "corpus never missed a deadline";
+  EXPECT_GT(throttles, 0u) << "corpus never throttled";
+  EXPECT_GT(abandoned, 0u) << "corpus never abandoned a carry-over job";
+  EXPECT_GT(undetected, 0u) << "corpus never slipped an overrun past the poll";
+}
+
+TEST(DifferentialTest, ScriptedArrivalsMatchOracle) {
+  const TaskSet set({McTask::hi("h", 2, 6, 8, 20, 20), McTask::lo("l", 3, 15, 15)});
+  SimConfig cfg;
+  cfg.horizon = 100.0;
+  cfg.hi_speed = 2.0;
+  cfg.record_trace = true;
+  // Same-time entries, an overrunning demand, a near-zero demand and a
+  // release beyond the horizon -- every scripted edge in one run.
+  cfg.scripted_arrivals = {
+      {{0.0, 2.0}, {20.0, 7.0}, {20.0, 1.0}, {60.0, 1e-12}, {150.0, 2.0}},
+      {{0.0, 3.0}, {30.0, 3.0}, {30.0, 2.0}, {45.0, 1.0}},
+  };
+  run_both_and_compare(set, cfg, "scripted");
+}
+
+TEST(DifferentialTest, ScriptedSameInstantBurstMatchesOracle) {
+  const TaskSet set({McTask::hi("h", 1, 4, 6, 12, 12), McTask::lo("a", 1, 8, 8),
+                     McTask::lo("b", 1, 10, 10)});
+  SimConfig cfg;
+  cfg.horizon = 60.0;
+  cfg.hi_speed = 1.5;
+  cfg.record_trace = true;
+  cfg.scripted_arrivals = {
+      {{0.0, 5.0}, {0.0, 1.0}, {24.0, 1.0}},  // back-to-back same-time entries
+      {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}},
+      {{12.0, 1.0}, {12.0, 1.0}},
+  };
+  run_both_and_compare(set, cfg, "same-instant burst");
+}
+
+TEST(DifferentialTest, DegradedLoServiceAndTerminationMatchOracle) {
+  // Explicit degraded-service set: LO task with a stretched HI-mode period,
+  // plus a terminated LO task (infinite HI period -> dropped in HI mode).
+  const TaskSet set({McTask::hi("h", 2, 8, 10, 30, 30),
+                     McTask::lo("keep", 3, 20, 20, 40, 40),
+                     McTask::lo_terminated("drop", 2, 25, 25)});
+  for (bool discard : {false, true}) {
+    SimConfig cfg;
+    cfg.horizon = 5000.0;
+    cfg.hi_speed = 2.0;
+    cfg.demand.overrun_probability = 0.4;
+    cfg.discard_dropped_carryover = discard;
+    cfg.record_trace = true;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      run_both_and_compare(set, cfg,
+                           std::string("degraded discard=") + (discard ? "1" : "0") +
+                               " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(DifferentialTest, ReportsHonestPrefixUnderEventBudget) {
+  const TaskSet set = make_set(17, 0.6);
+  SimConfig cfg;
+  cfg.horizon = 20000.0;
+  cfg.hi_speed = 2.0;
+  cfg.demand.overrun_probability = 0.3;
+  SimLimits limits;
+  limits.max_events = 100;
+  Simulator simulator;
+  const Expected<SimReport> report = simulator.run(set, cfg, limits);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().completed);
+  EXPECT_FALSE(report.value().exact());
+  EXPECT_EQ(report.value().termination, SimTermination::kEventBudget);
+  EXPECT_EQ(report.value().counters.events_processed, 100u);
+  // The prefix horizon is honest: less than requested, covered exactly.
+  EXPECT_LT(report.value().metrics.horizon, cfg.horizon);
+  EXPECT_GT(report.value().metrics.horizon, 0.0);
+}
+
+TEST(DifferentialTest, ReportsHonestPrefixUnderJobBudget) {
+  const TaskSet set = make_set(17, 0.6);
+  SimConfig cfg;
+  cfg.horizon = 20000.0;
+  SimLimits limits;
+  limits.max_jobs = 50;
+  Simulator simulator;
+  const Expected<SimReport> report = simulator.run(set, cfg, limits);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().completed);
+  EXPECT_EQ(report.value().termination, SimTermination::kJobBudget);
+  EXPECT_GE(report.value().metrics.jobs_released, 50u);
+  EXPECT_LT(report.value().metrics.horizon, cfg.horizon);
+}
+
+TEST(DifferentialTest, ReusedSimulatorMatchesFreshSimulator) {
+  // The kernel reuses its calendar/pool/scratch across runs; reuse must not
+  // leak state between runs.
+  const TaskSet set_a = make_set(17, 0.6);
+  const TaskSet set_b = make_set(23, 0.7);
+  SimConfig cfg;
+  cfg.horizon = 10000.0;
+  cfg.hi_speed = 2.0;
+  cfg.demand.overrun_probability = 0.4;
+  cfg.release_jitter = 0.1;
+  cfg.record_trace = true;
+
+  Simulator reused;
+  // Dirty the kernel with unrelated runs first.
+  cfg.seed = 99;
+  (void)reused.run(set_b, cfg).value();
+  cfg.seed = 7;
+  (void)reused.run(set_a, cfg).value();
+
+  cfg.seed = 42;
+  const SimReport warm = reused.run(set_a, cfg).value();
+  Simulator fresh;
+  const SimReport cold = fresh.run(set_a, cfg).value();
+  expect_identical(warm.metrics, cold.metrics, "warm vs cold kernel");
+}
+
+TEST(DifferentialTest, CampaignInvariantAcrossWorkerCounts) {
+  // jobs=1 vs jobs=8 must produce byte-identical per-item rows (the campaign
+  // determinism contract, now running over the event-driven facade).
+  const TaskSet set = make_set(17, 0.6);
+  const auto run_rows = [&set](unsigned jobs) {
+    campaign::CampaignOptions options;
+    options.jobs = jobs;
+    options.seed = 5;
+    const campaign::CampaignRunner runner(options);
+    return runner.map<std::string>(24, [&set](std::size_t index, Rng& rng) {
+      thread_local Simulator simulator;  // reused per worker, exercising warm runs
+      SimConfig cfg;
+      cfg.horizon = 5000.0;
+      cfg.hi_speed = 2.0;
+      cfg.demand.overrun_probability = 0.3;
+      cfg.release_jitter = 0.1;
+      cfg.seed = static_cast<std::uint64_t>(rng.uniform_int(1, std::int64_t{1} << 40));
+      const SimReport r = simulator.run(set, cfg).value();
+      char buffer[160];
+      std::snprintf(buffer, sizeof buffer, "%zu,%llu,%llu,%llu,%llu,%.17g", index,
+                    static_cast<unsigned long long>(r.metrics.jobs_released),
+                    static_cast<unsigned long long>(r.metrics.jobs_completed),
+                    static_cast<unsigned long long>(r.metrics.mode_switches),
+                    static_cast<unsigned long long>(r.metrics.preemptions),
+                    r.metrics.busy_time);
+      return std::string(buffer);
+    });
+  };
+  const std::vector<std::string> serial = run_rows(1);
+  const std::vector<std::string> parallel = run_rows(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "item " << i;
+}
+
+}  // namespace
+}  // namespace rbs::sim

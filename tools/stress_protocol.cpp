@@ -47,7 +47,7 @@
 #include "core/tuning.hpp"
 #include "gen/rng.hpp"
 #include "gen/taskgen.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulate.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/watchdog.hpp"
 #include "support/tolerance.hpp"
@@ -59,9 +59,19 @@ namespace {
 using rbs::Expected;
 using rbs::TaskSet;
 using rbs::sim::SimConfig;
+using rbs::sim::SimReport;
 using rbs::sim::SimResult;
 using rbs::sim::WatchdogOptions;
 using rbs::sim::WatchdogReport;
+
+/// One engine reused for every run of the campaign (the tool is
+/// single-threaded): the redesigned facade keeps the calendar, job pool and
+/// scratch buffers alive across runs, so re-simulation during shrinking is
+/// allocation-free in the steady state.
+rbs::sim::Simulator& campaign_simulator() {
+  static rbs::sim::Simulator simulator;
+  return simulator;
+}
 
 struct Scenario {
   std::string name;
@@ -140,9 +150,9 @@ std::size_t job_count(const std::vector<std::vector<SimConfig::ScriptedJob>>& sc
 bool still_fails(const Scenario& sc, const std::vector<std::vector<SimConfig::ScriptedJob>>& s) {
   SimConfig cfg = sc.cfg;
   cfg.scripted_arrivals = s;
-  const Expected<SimResult> result = rbs::sim::try_simulate(sc.set, cfg);
-  if (!result) return false;
-  return !rbs::sim::check_trace(sc.set, cfg, result.value(), sc.opts).ok();
+  const Expected<SimReport> report = campaign_simulator().run(sc.set, cfg);
+  if (!report) return false;
+  return !rbs::sim::check_trace(sc.set, cfg, report.value().metrics, sc.opts).ok();
 }
 
 /// Greedy delta-debugging over the flattened job list: repeatedly try to
@@ -205,10 +215,10 @@ void report_failure(const Scenario& sc, const WatchdogReport& report,
       std::cerr << "warning: could not write " << dump_prefix << ".taskset\n";
     SimConfig cfg = sc.cfg;
     cfg.scripted_arrivals = repro;
-    const Expected<SimResult> rerun = rbs::sim::try_simulate(sc.set, cfg);
+    const Expected<SimReport> rerun = campaign_simulator().run(sc.set, cfg);
     if (rerun) {
       std::ofstream out(dump_prefix + ".trace.json");
-      rbs::sim::write_trace_json(out, sc.set, rerun.value());
+      rbs::sim::write_trace_json(out, sc.set, rerun.value().metrics);
       std::cerr << "repro written to " << dump_prefix << ".{taskset,trace.json}\n";
     }
   }
@@ -481,25 +491,26 @@ int main(int argc, char** argv) {
     }
 
     for (const Scenario& sc : scenarios) {
-      const Expected<SimResult> result = rbs::sim::try_simulate(sc.set, sc.cfg);
-      if (!result) {
-        std::cerr << "config rejected [" << sc.name << "]: " << result.error_message() << "\n";
+      const Expected<SimReport> sim_report = campaign_simulator().run(sc.set, sc.cfg);
+      if (!sim_report) {
+        std::cerr << "config rejected [" << sc.name << "]: " << sim_report.error_message() << "\n";
         return 2;
       }
+      const SimResult& result = sim_report.value().metrics;
       ++set_counters.runs;
-      if (result.value().faults_injected > 0) ++set_counters.faulted;
+      if (result.faults_injected > 0) ++set_counters.faulted;
       if (sc.opts.license.hi_mode_misses || sc.opts.license.lo_mode_misses)
-        set_counters.licensed += result.value().misses.size();
-      const WatchdogReport report = rbs::sim::check_trace(sc.set, sc.cfg, result.value(), sc.opts);
+        set_counters.licensed += result.misses.size();
+      const WatchdogReport report = rbs::sim::check_trace(sc.set, sc.cfg, result, sc.opts);
       if (verbose)
-        std::cout << "set " << si << " [" << sc.name << "]: " << result.value().mode_switches
-                  << " switches, " << result.value().misses.size() << " misses, "
+        std::cout << "set " << si << " [" << sc.name << "]: " << result.mode_switches
+                  << " switches, " << result.misses.size() << " misses, "
                   << report.violations.size() << " violations\n";
       if (report.ok()) continue;
 
       exit_code = 1;
       set_counters.exit_code = 1;
-      auto script = script_from_trace(sc.set, result.value());
+      auto script = script_from_trace(sc.set, result);
       if (still_fails(sc, script)) script = shrink(sc, std::move(script));
       report_failure(sc, report, script, dump_prefix);
     }
