@@ -3,32 +3,62 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
-#include "core/edf.hpp"
-#include "core/reset.hpp"
-#include "core/speedup.hpp"
+#include "core/analysis.hpp"
+#include "support/tolerance.hpp"
 
 namespace rbs {
 
 namespace {
 
-// Feasibility of one core's task collection under the per-core budgets.
-bool core_feasible(const std::vector<McTask>& tasks, const PartitionOptions& options) {
-  const TaskSet core(tasks);
-  if (!lo_mode_schedulable(core)) return false;
-  if (!hi_mode_schedulable(core, options.hi_speedup)) return false;
-  if (std::isfinite(options.max_reset) &&
-      resetting_time_value(core, options.hi_speedup) > options.max_reset)
+// The renaming/permutation-invariant sort key breaking utilization ties: a
+// pure function of the task's numeric parameters. Tasks with identical keys
+// are interchangeable for every analysis in this library, so falling back to
+// input order among them cannot change any verdict.
+using TieKey = std::tuple<int, Ticks, Ticks, Ticks, Ticks, Ticks, Ticks>;
+
+TieKey tie_key(const McTask& task) {
+  return {task.is_hi() ? 0 : 1,
+          task.wcet(Mode::LO),    task.wcet(Mode::HI),
+          task.deadline(Mode::LO), task.deadline(Mode::HI),
+          task.period(Mode::LO),  task.period(Mode::HI)};
+}
+
+// Feasibility of one core's task collection under the core's budgets: one
+// fused Analyzer call answers LO-mode, HI-mode and resetting time together.
+// Acceptance is tolerance-routed: the facade's own hi_schedulable flag uses
+// an exact s_min <= speed comparison, so a set sitting exactly on the budget
+// must be re-judged here with approx_le or rounding noise would flip it.
+bool core_feasible(const std::vector<McTask>& tasks, const CoreBudget& budget) {
+  AnalysisRequest request;
+  request.set = TaskSet(tasks);
+  request.speed = budget.hi_speedup;
+  request.parts.reset = std::isfinite(budget.max_reset);
+  const Expected<AnalysisReport> report = analyze(request);
+  if (!report) return false;
+  if (!report->lo_schedulable) return false;
+  if (!approx_le(report->s_min, budget.hi_speedup, kSpeedTol)) return false;
+  if (std::isfinite(budget.max_reset) &&
+      definitely_gt(report->delta_r, budget.max_reset, kTimeTol))
     return false;
   return true;
 }
 
 }  // namespace
 
+CoreBudget core_budget(const PartitionOptions& options, std::size_t c) {
+  if (!options.core_budgets.empty()) return options.core_budgets[c];
+  return CoreBudget{options.hi_speedup, options.max_reset};
+}
+
 PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
                                     const PartitionOptions& options) {
   PartitionResult result;
   if (cores == 0) return result;
+  // A heterogeneous budget vector that does not match the core count is a
+  // caller error; report infeasible instead of guessing which cores exist.
+  if (!options.core_budgets.empty() && options.core_budgets.size() != cores) return result;
   result.assignment.assign(cores, {});
   std::vector<std::vector<McTask>> bins(cores);
 
@@ -36,9 +66,15 @@ PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
   std::iota(order.begin(), order.end(), 0);
   if (options.decreasing) {
     std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      // Exact weight comparison (see the header: an approximate "equal" is
+      // not transitive, breaking the strict weak ordering the sort needs).
+      // The weight is a pure function of the parameters, so the order is
+      // already invariant under renaming; the tie key extends that
+      // invariance to permutations of equal-utilization tasks.
       const double wa = set[a].utilization(Mode::LO) + set[a].utilization(Mode::HI);
       const double wb = set[b].utilization(Mode::LO) + set[b].utilization(Mode::HI);
-      return wa > wb;
+      if (wa != wb) return wa > wb;  // rbs-lint: allow(float-eq)
+      return tie_key(set[a]) < tie_key(set[b]);
     });
   }
 
@@ -46,7 +82,7 @@ PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
     bool placed = false;
     for (std::size_t c = 0; c < cores && !placed; ++c) {
       bins[c].push_back(set[index]);
-      if (core_feasible(bins[c], options)) {
+      if (core_feasible(bins[c], core_budget(options, c))) {
         result.assignment[c].push_back(index);
         placed = true;
       } else {
@@ -61,15 +97,31 @@ PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
 
   result.feasible = true;
   result.core_s_min.reserve(cores);
-  for (const auto& bin : bins)
-    result.core_s_min.push_back(bin.empty() ? 0.0 : min_speedup_value(TaskSet(bin)));
+  result.core_delta_r.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (bins[c].empty()) {
+      result.core_s_min.push_back(0.0);
+      result.core_delta_r.push_back(0.0);
+      continue;
+    }
+    AnalysisRequest request;
+    request.set = TaskSet(bins[c]);
+    request.speed = core_budget(options, c).hi_speedup;
+    const Expected<AnalysisReport> report = analyze(request);
+    result.core_s_min.push_back(report ? report->s_min
+                                       : std::numeric_limits<double>::infinity());
+    result.core_delta_r.push_back(report ? report->delta_r
+                                         : std::numeric_limits<double>::infinity());
+  }
   return result;
 }
 
 std::optional<std::size_t> cores_needed(const TaskSet& set, std::size_t max_cores,
                                         const PartitionOptions& options) {
+  PartitionOptions uniform = options;
+  uniform.core_budgets.clear();
   for (std::size_t m = 1; m <= max_cores; ++m)
-    if (partition_first_fit(set, m, options).feasible) return m;
+    if (partition_first_fit(set, m, uniform).feasible) return m;
   return std::nullopt;
 }
 

@@ -6,10 +6,22 @@
 // speeding up on its own overruns. A core accepts a task iff the core's set
 // remains (a) LO-mode schedulable at nominal speed, (b) HI-mode schedulable
 // within the per-core speedup budget s (Theorem 2), and (c) back to nominal
-// within the reset budget (Corollary 5).
+// within the reset budget (Corollary 5). All three verdicts come from one
+// fused Analyzer call per placement probe, with the budget comparisons
+// routed through the project tolerance policy (support/tolerance.hpp) so a
+// set whose s_min sits exactly on the DVFS ceiling is accepted instead of
+// flipping with rounding noise.
 //
 // First-fit decreasing (by LO+HI utilization) is the standard bin-packing
-// heuristic for this feasibility predicate.
+// heuristic for this feasibility predicate. The decreasing order is fully
+// deterministic and invariant under renaming and permutation of the input:
+// ties in total utilization break on the parameter tuple
+//   (criticality, C(LO), C(HI), D(LO), D(HI), T(LO), T(HI))
+// ascending -- a pure function of the task's numbers, never its name or
+// position -- and only tasks with *identical* tuples (interchangeable for
+// every analysis) fall back to input order. The weight comparison itself is
+// exact, not tolerance-based: an approximate "equal" is not transitive and
+// would break the strict weak ordering std::stable_sort requires.
 #pragma once
 
 #include <cstddef>
@@ -21,11 +33,28 @@
 
 namespace rbs {
 
-struct PartitionOptions {
-  /// Per-core HI-mode speedup budget (the DVFS ceiling of each core).
+/// The speedup/reset budget of one core. Heterogeneous multicores (big.LITTLE
+/// style) give each core its own DVFS ceiling and thermal envelope; the
+/// resilience analysis (multi/resilience.hpp) re-checks migrated work against
+/// the *receiving* core's budget, never the source's.
+struct CoreBudget {
+  /// HI-mode speedup budget (the DVFS ceiling of this core).
   double hi_speedup = 2.0;
-  /// Per-core resetting-time budget at hi_speedup, in ticks (thermal limit).
+  /// Resetting-time budget at hi_speedup, in ticks (thermal limit).
   double max_reset = std::numeric_limits<double>::infinity();
+};
+
+struct PartitionOptions {
+  /// Per-core HI-mode speedup budget (the DVFS ceiling of each core), used
+  /// for every core when `core_budgets` is empty.
+  double hi_speedup = 2.0;
+  /// Per-core resetting-time budget at hi_speedup, in ticks (thermal limit),
+  /// used for every core when `core_budgets` is empty.
+  double max_reset = std::numeric_limits<double>::infinity();
+  /// Heterogeneous budgets: when non-empty, core c uses core_budgets[c] and
+  /// the vector's size must equal the core count (a mismatch makes
+  /// partition_first_fit return an infeasible result rather than guessing).
+  std::vector<CoreBudget> core_budgets;
   /// Sort tasks by decreasing utilization before packing (first-fit
   /// decreasing); false keeps the input order (plain first-fit).
   bool decreasing = true;
@@ -35,18 +64,27 @@ struct PartitionResult {
   bool feasible = false;
   /// assignment[c] lists input indices of the tasks placed on core c.
   std::vector<std::vector<std::size_t>> assignment;
-  /// Required speedup of each core's final set.
+  /// Required speedup of each core's final set (0 for an empty core).
   std::vector<double> core_s_min;
+  /// Resetting time of each core's final set at its budget speed, in ticks
+  /// (0 for an empty core). Together with core_s_min these are the margins
+  /// the resilience analysis starts from.
+  std::vector<double> core_delta_r;
   /// Index of the first task that fit nowhere (when infeasible).
   std::optional<std::size_t> rejected_task;
 };
+
+/// Effective budget of core `c` under `options` (uniform or heterogeneous).
+CoreBudget core_budget(const PartitionOptions& options, std::size_t c);
 
 /// First-fit (decreasing) partitioning of `set` onto `cores` cores.
 PartitionResult partition_first_fit(const TaskSet& set, std::size_t cores,
                                     const PartitionOptions& options = {});
 
 /// Smallest number of cores (<= max_cores) for which partitioning succeeds;
-/// nullopt if even max_cores fails.
+/// nullopt if even max_cores fails. Heterogeneous `core_budgets` are not
+/// meaningful here (the core count varies), so only the uniform budgets are
+/// consulted.
 std::optional<std::size_t> cores_needed(const TaskSet& set, std::size_t max_cores,
                                         const PartitionOptions& options = {});
 

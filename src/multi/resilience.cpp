@@ -1,0 +1,372 @@
+#include "multi/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <tuple>
+#include <utility>
+
+#include "support/tolerance.hpp"
+
+namespace rbs::multi {
+
+namespace {
+
+// The renaming/permutation-invariant key ordering equal-utilization tasks in
+// the migration pool, mirroring core/partition.cpp's FFD tie-break.
+using TieKey = std::tuple<int, Ticks, Ticks, Ticks, Ticks, Ticks, Ticks>;
+
+TieKey tie_key(const McTask& task) {
+  return {task.is_hi() ? 0 : 1,
+          task.wcet(Mode::LO),    task.wcet(Mode::HI),
+          task.deadline(Mode::LO), task.deadline(Mode::HI),
+          task.period(Mode::LO),  task.period(Mode::HI)};
+}
+
+// Mutable view of one core while a scenario's spare assignment is built.
+struct CoreState {
+  std::vector<std::size_t> tasks;  ///< global indices currently on the core
+  std::vector<std::size_t> shed;   ///< LO tasks terminated (global indices)
+  bool dead = false;
+  bool denied = false;
+  bool changed = false;  ///< task list differs from the nominal assignment
+  double u_hi = 0.0;     ///< running HI-mode utilization (receiver ordering)
+};
+
+struct Ctx {
+  const MultiRequest* req = nullptr;
+  std::size_t* analyzer_calls = nullptr;
+};
+
+TaskSet local_set(const TaskSet& set, const std::vector<std::size_t>& indices) {
+  std::vector<McTask> tasks;
+  tasks.reserve(indices.size());
+  for (std::size_t g : indices) tasks.push_back(set[g]);
+  return TaskSet(std::move(tasks));
+}
+
+bool reset_ok(double delta_r, double max_reset) {
+  return !std::isfinite(max_reset) || !definitely_gt(delta_r, max_reset, kTimeTol);
+}
+
+// Tolerance-routed acceptance of `local` on a core with `budget`: first the
+// plain fused verdict, then the fallback tiers (LO termination) when the
+// plain verdict fails. `shed` receives LOCAL indices of terminated LO tasks.
+// LO-mode schedulability is checked on both paths -- analyze_degraded only
+// certifies HI mode, and termination never lowers LO-mode demand.
+bool accept_on_core(const Ctx& ctx, const TaskSet& local, const CoreBudget& budget,
+                    std::vector<std::size_t>& shed) {
+  shed.clear();
+  AnalysisRequest areq;
+  areq.set = local;
+  areq.speed = budget.hi_speedup;
+  areq.lo_speed = ctx.req->lo_speed;
+  areq.limits = ctx.req->limits;
+  ++*ctx.analyzer_calls;
+  const Expected<AnalysisReport> report = analyze(areq);
+  if (!report || !report->lo_schedulable) return false;
+  if (approx_le(report->s_min, budget.hi_speedup, kSpeedTol) &&
+      reset_ok(report->delta_r, budget.max_reset))
+    return true;
+  ++*ctx.analyzer_calls;
+  const DegradedGuarantee degraded =
+      analyze_degraded(local, budget.hi_speedup, ctx.req->resilience);
+  if (!degraded.feasible || !reset_ok(degraded.delta_r, budget.max_reset)) return false;
+  shed = degraded.fallback.terminated;
+  return true;
+}
+
+CoreReport nominal_report(const Ctx& ctx, const std::vector<std::size_t>& tasks,
+                          const CoreBudget& budget) {
+  CoreReport r;
+  r.speed_margin = budget.hi_speedup;
+  r.reset_margin = budget.max_reset;
+  if (tasks.empty()) {
+    r.feasible = true;
+    return r;
+  }
+  AnalysisRequest areq;
+  areq.set = local_set(ctx.req->set, tasks);
+  areq.speed = budget.hi_speedup;
+  areq.lo_speed = ctx.req->lo_speed;
+  areq.limits = ctx.req->limits;
+  ++*ctx.analyzer_calls;
+  const Expected<AnalysisReport> report = analyze(areq);
+  if (!report) {
+    r.s_min = std::numeric_limits<double>::infinity();
+    r.delta_r = std::numeric_limits<double>::infinity();
+    r.speed_margin = -std::numeric_limits<double>::infinity();
+    return r;
+  }
+  r.s_min = report->s_min;
+  r.delta_r = report->delta_r;
+  r.speed_margin = budget.hi_speedup - report->s_min;
+  r.reset_margin = std::isfinite(budget.max_reset)
+                       ? budget.max_reset - report->delta_r
+                       : std::numeric_limits<double>::infinity();
+  r.u_lo = report->u_lo;
+  r.u_hi = report->u_hi;
+  r.feasible = report->lo_schedulable &&
+               approx_le(report->s_min, budget.hi_speedup, kSpeedTol) &&
+               reset_ok(report->delta_r, budget.max_reset);
+  return r;
+}
+
+FailureScenario evaluate_scenario(const Ctx& ctx, const MultiReport& nominal,
+                                  std::vector<std::size_t> faulted,
+                                  std::vector<CoreFaultClass> classes) {
+  const MultiRequest& req = *ctx.req;
+  const std::size_t cores = req.assignment.size();
+  FailureScenario sc;
+  sc.faulted = std::move(faulted);
+  sc.classes = std::move(classes);
+
+  std::vector<CoreState> state(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    state[c].tasks = req.assignment[c];
+    for (std::size_t g : state[c].tasks) state[c].u_hi += req.set[g].utilization(Mode::HI);
+  }
+
+  // Displaced HI tasks awaiting a new home: (global index, source core).
+  std::vector<std::pair<std::size_t, std::size_t>> pool;
+  bool feasible = true;
+
+  for (std::size_t f = 0; f < sc.faulted.size(); ++f) {
+    const std::size_t core = sc.faulted[f];
+    CoreState& cs = state[core];
+    if (sc.classes[f] == CoreFaultClass::kFailStop) {
+      cs.dead = true;
+      cs.changed = true;
+      for (std::size_t g : cs.tasks) {
+        if (req.set[g].is_hi())
+          pool.emplace_back(g, core);
+        else
+          sc.lost_lo.push_back(g);
+      }
+      cs.tasks.clear();
+      cs.u_hi = 0.0;
+      continue;
+    }
+    // Boost denial: the core runs its episodes at lo_speed. Try to save the
+    // HI tasks locally by terminating LO service in tiers; only when no tier
+    // suffices (or the degraded dwell busts the reset budget) do the HI
+    // tasks migrate off. A LO-only core never enters HI mode, so denial is
+    // harmless there.
+    cs.denied = true;
+    bool has_hi = false;
+    for (std::size_t g : cs.tasks) has_hi = has_hi || req.set[g].is_hi();
+    if (!has_hi) continue;
+    ++*ctx.analyzer_calls;
+    const DegradedGuarantee degraded =
+        analyze_degraded(local_set(req.set, cs.tasks), req.lo_speed, req.resilience);
+    if (degraded.feasible && reset_ok(degraded.delta_r, req.budgets[core].max_reset)) {
+      for (std::size_t local : degraded.fallback.terminated)
+        cs.shed.push_back(cs.tasks[local]);
+      continue;
+    }
+    // Strip the HI tasks; the LO remainder is a subset of a LO-schedulable
+    // set and the demand bound is monotone, so no re-check is needed.
+    std::vector<std::size_t> keep;
+    for (std::size_t g : cs.tasks) {
+      if (req.set[g].is_hi()) {
+        pool.emplace_back(g, core);
+      } else {
+        keep.push_back(g);
+      }
+    }
+    cs.tasks = std::move(keep);
+    cs.u_hi = 0.0;
+    cs.changed = true;
+  }
+
+  // Deterministic pool order: decreasing U(HI), parameter-tuple ties, then
+  // global index. The weight comparison is exact (see core/partition.hpp on
+  // tolerance vs strict weak ordering).
+  std::stable_sort(pool.begin(), pool.end(), [&](const auto& a, const auto& b) {
+    const double ua = req.set[a.first].utilization(Mode::HI);
+    const double ub = req.set[b.first].utilization(Mode::HI);
+    if (ua != ub) return ua > ub;  // rbs-lint: allow(float-eq)
+    const TieKey ka = tie_key(req.set[a.first]);
+    const TieKey kb = tie_key(req.set[b.first]);
+    if (ka != kb) return ka < kb;
+    return a.first < b.first;
+  });
+
+  std::vector<std::size_t> candidates;
+  std::vector<std::size_t> tentative;
+  std::vector<std::size_t> shed;
+  for (const auto& [task, from] : pool) {
+    // Receiver preference recomputed per task: lightest HI load first, core
+    // index breaking ties -- the same order for every replay of this plan.
+    candidates.clear();
+    for (std::size_t c = 0; c < cores; ++c)
+      if (!state[c].dead && !state[c].denied) candidates.push_back(c);
+    std::stable_sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+      if (state[a].u_hi != state[b].u_hi) return state[a].u_hi < state[b].u_hi;  // rbs-lint: allow(float-eq)
+      return a < b;
+    });
+    bool placed = false;
+    for (std::size_t c : candidates) {
+      tentative = state[c].tasks;
+      tentative.push_back(task);
+      if (!accept_on_core(ctx, local_set(req.set, tentative), req.budgets[c], shed)) continue;
+      state[c].tasks = tentative;
+      state[c].u_hi += req.set[task].utilization(Mode::HI);
+      state[c].changed = true;
+      // The fallback tiers are prefixes of one sacrifice order, so the
+      // latest acceptance's list supersedes earlier ones wholesale.
+      state[c].shed.clear();
+      for (std::size_t local : shed) state[c].shed.push_back(tentative[local]);
+      sc.migrations.push_back({task, from, c});
+      placed = true;
+      break;
+    }
+    // Keep placing the rest best-effort: an infeasible scenario still wants
+    // the most complete plan the online migrator can act on.
+    if (!placed) feasible = false;
+  }
+
+  for (std::size_t c = 0; c < cores; ++c)
+    for (std::size_t g : state[c].shed) sc.degraded_lo.push_back({g, c});
+
+  sc.post_s_min.assign(cores, 0.0);
+  sc.post_delta_r.assign(cores, 0.0);
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (state[c].dead || state[c].tasks.empty()) continue;
+    if (!state[c].changed) {
+      // Untouched core: its nominal numbers still hold.
+      sc.post_s_min[c] = nominal.core_reports[c].s_min;
+      sc.post_delta_r[c] = nominal.core_reports[c].delta_r;
+      continue;
+    }
+    AnalysisRequest areq;
+    areq.set = local_set(req.set, state[c].tasks);
+    areq.speed = req.budgets[c].hi_speedup;
+    areq.lo_speed = req.lo_speed;
+    areq.limits = req.limits;
+    ++*ctx.analyzer_calls;
+    const Expected<AnalysisReport> report = analyze(areq);
+    sc.post_s_min[c] = report ? report->s_min : std::numeric_limits<double>::infinity();
+    sc.post_delta_r[c] = report ? report->delta_r : std::numeric_limits<double>::infinity();
+  }
+
+  sc.feasible = feasible;
+  return sc;
+}
+
+}  // namespace
+
+std::string to_string(CoreFaultClass fault_class) {
+  switch (fault_class) {
+    case CoreFaultClass::kFailStop: return "fail-stop";
+    case CoreFaultClass::kBoostDenied: return "boost-denied";
+  }
+  return "?";
+}
+
+Expected<MultiReport> analyze_resilience(const MultiRequest& request) {
+  const std::size_t cores = request.assignment.size();
+  if (cores == 0) return Status::error("multi: assignment must name at least one core");
+  if (request.budgets.size() != cores)
+    return Status::error("multi: budgets size must equal the core count");
+  for (const CoreBudget& budget : request.budgets) {
+    if (!(budget.hi_speedup > 0.0) || !std::isfinite(budget.hi_speedup))
+      return Status::error("multi: every hi_speedup must be finite and > 0");
+    if (std::isnan(budget.max_reset) || budget.max_reset <= 0.0)
+      return Status::error("multi: every max_reset must be > 0 (or +inf)");
+  }
+  if (!(request.lo_speed > 0.0) || !std::isfinite(request.lo_speed))
+    return Status::error("multi: lo_speed must be finite and > 0");
+  if (request.tolerance >= cores)
+    return Status::error("multi: tolerance must leave at least one surviving core");
+  if (request.tolerance > 0 && !request.consider_fail_stop && !request.consider_boost_denial)
+    return Status::error("multi: tolerance > 0 with every fault class disabled");
+
+  std::vector<char> seen(request.set.size(), 0);
+  for (const auto& core_tasks : request.assignment) {
+    for (std::size_t g : core_tasks) {
+      if (g >= request.set.size())
+        return Status::error("multi: assignment names a task index out of range");
+      if (seen[g]) return Status::error("multi: task assigned to more than one core");
+      seen[g] = 1;
+    }
+  }
+  for (std::size_t g = 0; g < seen.size(); ++g)
+    if (!seen[g]) return Status::error("multi: task assigned to no core");
+
+  const std::size_t num_classes =
+      static_cast<std::size_t>(request.consider_fail_stop) +
+      static_cast<std::size_t>(request.consider_boost_denial);
+  double scenario_count = 0.0;
+  double choose = 1.0;
+  double class_pow = 1.0;
+  for (std::size_t j = 1; j <= request.tolerance; ++j) {
+    choose = choose * static_cast<double>(cores - j + 1) / static_cast<double>(j);
+    class_pow *= static_cast<double>(num_classes);
+    scenario_count += choose * class_pow;
+  }
+  if (scenario_count > static_cast<double>(request.max_scenarios))
+    return Status::error("multi: scenario space exceeds max_scenarios; raise the cap or lower the tolerance");
+
+  MultiReport report;
+  report.cores = cores;
+  report.tolerance = request.tolerance;
+  Ctx ctx{&request, &report.analyzer_calls};
+
+  report.core_reports.reserve(cores);
+  bool nominal = true;
+  for (std::size_t c = 0; c < cores; ++c) {
+    report.core_reports.push_back(nominal_report(ctx, request.assignment[c], request.budgets[c]));
+    nominal = nominal && report.core_reports.back().feasible;
+  }
+  report.nominal_feasible = nominal;
+
+  std::vector<CoreFaultClass> enabled;
+  if (request.consider_fail_stop) enabled.push_back(CoreFaultClass::kFailStop);
+  if (request.consider_boost_denial) enabled.push_back(CoreFaultClass::kBoostDenied);
+
+  bool all_scenarios_ok = true;
+  for (std::size_t j = 1; j <= request.tolerance && !enabled.empty(); ++j) {
+    std::vector<std::size_t> combo(j);
+    std::iota(combo.begin(), combo.end(), 0);
+    while (true) {
+      std::size_t total = 1;
+      for (std::size_t d = 0; d < j; ++d) total *= enabled.size();
+      for (std::size_t m = 0; m < total; ++m) {
+        std::vector<CoreFaultClass> classes(j);
+        std::size_t v = m;
+        for (std::size_t d = 0; d < j; ++d) {
+          classes[d] = enabled[v % enabled.size()];
+          v /= enabled.size();
+        }
+        FailureScenario sc = evaluate_scenario(ctx, report, combo, classes);
+        ++report.scenarios_checked;
+        if (!sc.feasible) {
+          ++report.scenarios_infeasible;
+          all_scenarios_ok = false;
+        }
+        report.scenarios.push_back(std::move(sc));
+      }
+      // Next lexicographic j-combination of [0, cores).
+      std::size_t i = j;
+      while (i > 0 && combo[i - 1] == cores - j + (i - 1)) --i;
+      if (i == 0) break;
+      ++combo[i - 1];
+      for (std::size_t t = i; t < j; ++t) combo[t] = combo[t - 1] + 1;
+    }
+  }
+
+  report.tolerant = report.nominal_feasible && all_scenarios_ok;
+  return report;
+}
+
+const FailureScenario* find_scenario(const MultiReport& report,
+                                     const std::vector<std::size_t>& faulted,
+                                     const std::vector<CoreFaultClass>& classes) {
+  for (const FailureScenario& sc : report.scenarios)
+    if (sc.faulted == faulted && sc.classes == classes) return &sc;
+  return nullptr;
+}
+
+}  // namespace rbs::multi

@@ -32,6 +32,16 @@ Status validate_config(const TaskSet& set, const SimConfig& cfg) {
   if (!finite_nonneg(cfg.demand.base_fraction_min) || !finite_nonneg(cfg.demand.base_fraction_max))
     return Status::error("config: demand base fractions must be finite and >= 0");
 
+  if (!cfg.start_times.empty()) {
+    if (cfg.start_times.size() != set.size())
+      return Status::error("config: start_times has " + std::to_string(cfg.start_times.size()) +
+                           " entries for " + std::to_string(set.size()) + " tasks");
+    for (std::size_t i = 0; i < cfg.start_times.size(); ++i)
+      if (!finite_nonneg(cfg.start_times[i]))
+        return Status::error("config: start_times[" + std::to_string(i) +
+                             "] must be finite and >= 0");
+  }
+
   if (!cfg.scripted_arrivals.empty()) {
     if (cfg.scripted_arrivals.size() != set.size())
       return Status::error("config: scripted_arrivals has " +

@@ -64,6 +64,15 @@ struct SimConfig {
   /// Offline admissibility of this protocol is check_turbo_envelope's job.
   double max_boost_duration = 0.0;
 
+  /// Per-task earliest first-release instant: when non-empty (size must
+  /// match the task set) task i's first release base becomes
+  /// start_times[i] + initial offset; empty = every task starts at 0 (the
+  /// historical behaviour). The multicore migrator uses this to re-release a
+  /// migrated HI task on its spare core from the failure instant onward.
+  /// Honored identically by both kernels, so differential scenarios may use
+  /// it freely.
+  std::vector<double> start_times;
+
   std::uint64_t seed = 1;
   bool record_trace = false;
 

@@ -54,6 +54,7 @@ std::string to_string(SimTermination termination) {
     case SimTermination::kHorizon: return "horizon";
     case SimTermination::kEventBudget: return "event-budget";
     case SimTermination::kJobBudget: return "job-budget";
+    case SimTermination::kCoreFault: return "core-fault";
   }
   return "?";
 }
@@ -81,6 +82,10 @@ SimReport EventKernel::run(const TaskSet& set, const SimConfig& config, const Si
     if (now >= horizon) break;
     process_instant(now);
     ++counters_.events_processed;
+    if (core_failed_) [[unlikely]] {
+      termination = SimTermination::kCoreFault;
+      break;
+    }
     if (counters_.events_processed >= limits.max_events) [[unlikely]] {
       termination = SimTermination::kEventBudget;
       break;
@@ -159,13 +164,17 @@ void EventKernel::init() {
   release_dirty_ = false;
   // Initial offsets drawn in task order -- the first draws of the run, in
   // the same stream position as the reference kernel (drawn even when the
-  // arrivals are scripted, to keep the stream aligned).
+  // arrivals are scripted, to keep the stream aligned). A per-task start
+  // time (SimConfig::start_times, e.g. a migrated-in task that only exists
+  // after its source core failed) shifts the base before the offset.
+  const bool has_starts = !cfg.start_times.empty();
   for (std::size_t i = 0; i < n; ++i) {
     double offset = 0.0;
     if (cfg.initial_offset_spread > 0.0)
       offset = rng_.uniform(0.0, cfg.initial_offset_spread * task_t_lo_[i]);
-    next_lo_[i] = offset;
-    next_hi_[i] = offset;
+    const double start = has_starts ? cfg.start_times[i] : 0.0;
+    next_lo_[i] = start + offset;
+    next_hi_[i] = start + offset;
   }
 
   const std::size_t pool = 2 * n + 16;  // steady-state job population
@@ -209,6 +218,14 @@ void EventKernel::init() {
   episode_index_ = 0;
   prev_job_ = kNoJob;
   next_job_id_ = 0;
+
+  // Fail-stop core fault: a fixed calendar entry (never invalidated until it
+  // fires). At or beyond the horizon it can never be dispatched, so it is
+  // not armed at all.
+  fail_at_ = cfg.faults.core_fail_at;
+  fail_armed_ = fail_at_ > 0.0 && fail_at_ < cfg.horizon;
+  core_failed_ = false;
+  if (fail_armed_) queue_.push({fail_at_, EventKind::kCoreFault, 0, 0});
 
   running_slot_ = -1;
   running2_ = -1;
@@ -270,6 +287,8 @@ bool EventKernel::event_valid(const Event& e) const {
              e.stamp == result_.mode_switches;
     case EventKind::kTurboBudgetExpiry:
       return mode_ == Mode::HI && !fallback_active_ && e.stamp == result_.mode_switches;
+    case EventKind::kCoreFault:
+      return fail_armed_;
     default:
       return false;
   }
@@ -519,6 +538,15 @@ void EventKernel::advance(double now, double until) {
 // timers, overrun trigger, releases, deadline checks) ----------------------
 
 void EventKernel::process_instant(double now) {
+  // 0. Fail-stop core fault: destroys every in-flight job and ends the run
+  // at this instant. Dispatched before everything else -- a completion,
+  // release or deadline check at the same instant would have happened on the
+  // failed core and so never happens at all.
+  if (fail_armed_ && now >= fail_at_ - kEpsTime) [[unlikely]] {
+    core_fail(now);
+    return;
+  }
+
   // 1. Completions, in job-id (release) order. Usually one entry (the job
   // that just ran); released-already-finished jobs from the previous
   // instant join it, so sort by id to match the oracle's pool-order sweep.
@@ -931,6 +959,37 @@ void EventKernel::budget_fallback(double now) {
   running2_ = kUnknownSlot;  // abandons may have removed either runner-up
   deadline_min2_ = kUnknownTime;
   re_arm_all_releases();
+}
+
+void EventKernel::core_fail(double now) {
+  fail_armed_ = false;
+  core_failed_ = true;
+  record_event(now, TraceEvent::Kind::kCoreFault);
+  // The fail-stop takes its ready queue with it: every in-flight job --
+  // including jobs awaiting their completion sweep at this very instant --
+  // is destroyed, counted as lost rather than missed. The run terminates
+  // immediately after, so the scheduling caches are reset wholesale instead
+  // of being repaired incrementally.
+  abandon_scratch_.assign(active_.begin(), active_.end());
+  for (std::uint32_t slot : abandon_scratch_) {
+    ++result_.jobs_lost_to_fault;
+    if (job_flags_[slot] & kFlagFinished) {
+      remove_from_active(slot);
+      free_slots_.push_back(slot);
+    } else {
+      abandon(slot);
+    }
+  }
+  pending_finished_.clear();
+  unfinished_count_ = 0;
+  crossed_count_ = 0;
+  running_slot_ = -1;
+  running2_ = -1;
+  edf_dirty_ = false;
+  deadline_min_ = kInfTime;
+  deadline_min2_ = kInfTime;
+  deadline_dirty_ = false;
+  poll_armed_ = false;
 }
 
 void EventKernel::finalize() {

@@ -51,6 +51,8 @@ enum class SimTermination : std::uint8_t {
   kHorizon = 0,   ///< simulated the full configured horizon
   kEventBudget,   ///< SimLimits::max_events exhausted (metrics are a prefix)
   kJobBudget,     ///< SimLimits::max_jobs exhausted (metrics are a prefix)
+  kCoreFault,     ///< the core fail-stopped (FaultPlan::core_fail_at); the
+                  ///< metrics are the honest prefix up to the failure instant
 };
 
 [[nodiscard]] std::string to_string(SimTermination termination);
@@ -138,6 +140,7 @@ class EventKernel {
   void switch_to_hi(double now);
   void reset(double now);
   void budget_fallback(double now);
+  void core_fail(double now);
   void finalize();
 
   void record_event(double time, TraceEvent::Kind kind);
@@ -205,6 +208,9 @@ class EventKernel {
   std::size_t episode_index_ = 0;
   std::uint64_t prev_job_ = kNoJob;
   std::uint64_t next_job_id_ = 0;
+  bool fail_armed_ = false;   ///< a core fault is scheduled and pending
+  bool core_failed_ = false;  ///< the fault fired; the run ends this instant
+  double fail_at_ = 0.0;      ///< FaultPlan::core_fail_at, cached
 
   // ---- derived scheduling state ------------------------------------------
   // Both argmins carry a cached runner-up so the common invalidation -- the

@@ -12,6 +12,7 @@ std::string to_string(EventKind kind) {
     case EventKind::kBudgetPoll: return "budget-poll";
     case EventKind::kRelease: return "release";
     case EventKind::kDeadline: return "deadline";
+    case EventKind::kCoreFault: return "core-fault";
   }
   return "?";
 }

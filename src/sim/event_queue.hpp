@@ -32,6 +32,9 @@ enum class EventKind : std::uint8_t {
   kBudgetPoll,            ///< polled budget monitor inspects crossed jobs
   kRelease,               ///< task releases its next job
   kDeadline,              ///< earliest pending absolute deadline
+  kCoreFault,             ///< scripted fail-stop of the core (FaultPlan::
+                          ///< core_fail_at); appended last so the existing
+                          ///< kinds keep their numeric dispatch priorities
 };
 
 [[nodiscard]] std::string to_string(EventKind kind);

@@ -42,6 +42,8 @@ bool probability(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
 Status validate(const FaultPlan& plan, double lo_speed, double hi_speed) {
   if (!finite_nonneg(plan.detection_period))
     return Status::error("faults: detection_period must be finite and >= 0");
+  if (!finite_nonneg(plan.core_fail_at))
+    return Status::error("faults: core_fail_at must be finite and >= 0");
   for (std::size_t i = 0; i < plan.episodes.size(); ++i) {
     const Status s = spec_status(plan.episodes[i], lo_speed, hi_speed,
                                  "faults: episode " + std::to_string(i));
@@ -68,6 +70,16 @@ Status validate(const FaultPlan& plan, double lo_speed, double hi_speed) {
 
 FaultSpec resolve_fault(const FaultPlan& plan, std::size_t episode, Rng& rng, double lo_speed,
                         double hi_speed) {
+  // A boost-denied core denies every episode, before the script and the
+  // random model and WITHOUT consuming random draws: the denial is a
+  // per-core hardware condition, not a per-episode event, and must not shift
+  // the fault streams of sibling cores in a multicore run.
+  if (plan.boost_denied_on_core) {
+    FaultSpec denied;
+    denied.deny_boost = true;
+    return denied;
+  }
+
   if (!plan.episodes.empty()) {
     if (episode < plan.episodes.size()) return plan.episodes[episode];
     if (plan.recycle) return plan.episodes[episode % plan.episodes.size()];

@@ -92,9 +92,27 @@ struct FaultPlan {
   /// at global times k * delta. 0 = instantaneous detection (paper model).
   double detection_period = 0.0;
 
+  /// Fail-stop core fault: at this instant the core executing the plan dies.
+  /// Every in-flight job is destroyed (counted in SimResult::
+  /// jobs_lost_to_fault, not as deadline misses -- a dead core has no
+  /// deadlines left to miss) and the run ends with SimTermination::kCoreFault.
+  /// 0 (or an instant at/after the horizon) = the core never fails. Honored
+  /// by the event kernel and MulticoreSim; the stepping oracle
+  /// (sim/reference_kernel) ignores it, so differential scenarios never
+  /// schedule a core fault.
+  double core_fail_at = 0.0;
+
+  /// Permanent per-core boost denial (thermal capping of one core): EVERY
+  /// HI-mode episode on this core runs entirely at lo_speed, as if each
+  /// episode drew FaultSpec{deny_boost}. Resolved before the script and the
+  /// random model and consumes no random draws, so flipping it on one core of
+  /// a multicore run never perturbs the fault streams of the others.
+  bool boost_denied_on_core = false;
+
   bool enabled() const {
-    return detection_period > 0.0 || !episodes.empty() || random.p_deny > 0.0 ||
-           random.p_partial > 0.0 || random.p_late > 0.0 || random.p_throttle > 0.0;
+    return detection_period > 0.0 || core_fail_at > 0.0 || boost_denied_on_core ||
+           !episodes.empty() || random.p_deny > 0.0 || random.p_partial > 0.0 ||
+           random.p_late > 0.0 || random.p_throttle > 0.0;
   }
 };
 

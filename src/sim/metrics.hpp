@@ -44,6 +44,9 @@ struct SimResult {
   std::uint64_t undetected_overruns = 0;  ///< overrunning HI jobs that
                                           ///< completed between budget polls
                                           ///< (delayed detection only)
+  std::uint64_t jobs_lost_to_fault = 0;   ///< in-flight jobs destroyed by a
+                                          ///< fail-stop core fault (not
+                                          ///< counted as deadline misses)
 
   std::vector<DeadlineMiss> misses;
   std::vector<TaskStats> task_stats;  ///< indexed like the task set

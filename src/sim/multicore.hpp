@@ -1,0 +1,103 @@
+// Partitioned multicore simulation: N event kernels behind one facade.
+//
+// A MulticoreSim composes one EventKernel per core (each reused across runs,
+// like the uniprocessor Simulator) and runs the cores independently -- the
+// partitioned protocol has no cross-core scheduling -- except for the
+// *migrator*: per-core fault plans (FaultPlan::core_fail_at /
+// boost_denied_on_core) determine, before the first event fires, which cores
+// die or lose their boost, and the precomputed spare assignment of a
+// multi::MultiReport scenario (multi/resilience.hpp) is applied to the
+// per-core task lists:
+//
+//   * a HI task migrating off a FAIL-STOP core keeps running on the source
+//     until the failure instant (its in-flight job dies with the core) and
+//     is appended to the receiver with SimConfig::start_times set to the
+//     failure instant -- the spare releases it from that moment on;
+//   * a HI task migrating off a BOOST-DENIED core is re-partitioned from
+//     t = 0 (the denial is known at boot in this model), so the source
+//     drops it and the receiver runs it from the start;
+//   * ShedSteps terminate the named LO tasks in HI mode on their receiving
+//     cores (core/resilience's fallback tier, applied via apply_termination).
+//
+// Fault instants are deterministic (a calendar event, not a sampled one), so
+// the composition stays exactly reproducible; per-core RNG streams are
+// seed + core_index, making a single-core MulticoreSim bit-identical to the
+// uniprocessor kernel (enforced by tests/multi/multicore_sim_test.cpp).
+//
+// When no matching scenario exists -- or the scenario is infeasible -- the
+// migrator falls back to a deterministic best-effort placement (fewest
+// migrated-in tasks, then lowest core index) so that a non-tolerant
+// partition demonstrably misses HI deadlines instead of quietly dropping the
+// displaced work; the fault-sweep test relies on this to show the tolerance
+// verdict is not vacuous.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/task.hpp"
+#include "multi/resilience.hpp"
+#include "sim/config.hpp"
+#include "sim/faults.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulate.hpp"
+#include "support/rt_annotations.hpp"
+#include "support/status.hpp"
+
+namespace rbs::sim {
+
+/// One self-contained multicore simulation request.
+struct MulticoreRequest {
+  TaskSet set;
+  /// assignment[c] lists global task indices on core c; must be an exact
+  /// partition of [0, set.size()).
+  std::vector<std::vector<std::size_t>> assignment;
+  /// Shared knobs. Core c runs with seed = config.seed + c (core 0 keeps the
+  /// seed unchanged) and with config.faults unless core_faults overrides it.
+  SimConfig config;
+  /// Per-core fault plans; empty = config.faults on every core, otherwise
+  /// size must equal the core count.
+  std::vector<FaultPlan> core_faults;
+  SimLimits limits;
+  /// Precomputed spare assignments (borrowed; may be nullptr). When the
+  /// faulted-core set matches one of its scenarios, that scenario's
+  /// migrations and shed steps are applied; otherwise the forced best-effort
+  /// placement runs.
+  const multi::MultiReport* plan = nullptr;
+};
+
+/// Outcome of one multicore run.
+struct MulticoreReport {
+  /// Per-core reports; task indices inside are LOCAL to the core's final
+  /// task list (nominal tasks in assignment order, then migrated-in tasks).
+  std::vector<SimReport> cores;
+  /// Merged metrics with GLOBAL task indices (traces are per-core only). A
+  /// task that ran on two cores (fail-stop migration) contributes both
+  /// stints to its global row.
+  SimMetrics combined;
+  std::size_t migrations_applied = 0;  ///< plan-directed migrations
+  std::size_t forced_migrations = 0;   ///< best-effort placements (no plan)
+  std::size_t lo_shed = 0;             ///< LO tasks terminated on receivers
+  bool used_plan = false;              ///< a matching scenario was applied
+  /// Every core either covered the horizon or ended at its scheduled core
+  /// fault; false when any core hit a resource budget instead.
+  bool completed = true;
+};
+
+/// Reusable multicore engine: owns one Simulator (and thus one calendar/job
+/// pool) per core, recycled across runs. Not thread-safe.
+class MulticoreSim {
+ public:
+  [[nodiscard]] Expected<MulticoreReport> run(const MulticoreRequest& request);
+
+ private:
+  /// Folds one core's metrics into the global report. Steady-state loop of
+  /// the migrator facade: allocation-free apart from amortized growth of the
+  /// pre-sized global vectors (checked by the rt-lint gate).
+  static void merge_metrics(SimMetrics& combined, const SimMetrics& metrics,
+                            const std::vector<std::size_t>& global_of_local) RBS_HOT_PATH;
+
+  std::vector<Simulator> sims_;
+};
+
+}  // namespace rbs::sim

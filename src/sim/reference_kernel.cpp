@@ -76,8 +76,11 @@ class Engine {
       if (cfg_.initial_offset_spread > 0.0)
         offset = rng_.uniform(0.0, cfg_.initial_offset_spread *
                                        static_cast<double>(set_[i].period(Mode::LO)));
-      states_[i].earliest_next_lo = offset;
-      states_[i].earliest_next_hi = offset;
+      // Per-task start times shift the base before the offset, exactly like
+      // the event kernel (differential scenarios may therefore use them).
+      const double start = cfg_.start_times.empty() ? 0.0 : cfg_.start_times[i];
+      states_[i].earliest_next_lo = start + offset;
+      states_[i].earliest_next_hi = start + offset;
     }
     jobs_.clear();
     scratch_ids_.clear();

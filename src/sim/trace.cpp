@@ -15,6 +15,7 @@ std::string to_string(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kFaultEngaged: return "fault";
     case TraceEvent::Kind::kThrottleDown: return "throttle";
     case TraceEvent::Kind::kUndetectedOverrun: return "undetected-overrun";
+    case TraceEvent::Kind::kCoreFault: return "core-fault";
   }
   return "?";
 }
@@ -25,7 +26,7 @@ bool parse_event_kind(const std::string& name, TraceEvent::Kind& out) {
       Kind::kRelease,       Kind::kCompletion,     Kind::kOverrunTrigger,
       Kind::kModeSwitchHi,  Kind::kReset,          Kind::kDeadlineMiss,
       Kind::kJobAbandoned,  Kind::kBudgetFallback, Kind::kFaultEngaged,
-      Kind::kThrottleDown,  Kind::kUndetectedOverrun,
+      Kind::kThrottleDown,  Kind::kUndetectedOverrun, Kind::kCoreFault,
   };
   for (Kind k : kAll)
     if (to_string(k) == name) {

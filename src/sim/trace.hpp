@@ -36,6 +36,8 @@ struct TraceEvent {
     kThrottleDown,       ///< injected mid-episode throttle: speed collapsed
     kUndetectedOverrun,  ///< an overrunning HI job completed in LO mode
                          ///< between budget-monitor polls (no mode switch)
+    kCoreFault,          ///< the core fail-stopped (FaultPlan::core_fail_at);
+                         ///< the run ends at this instant
   };
   double time = 0.0;
   Kind kind = Kind::kRelease;

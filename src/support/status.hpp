@@ -95,6 +95,14 @@ class [[nodiscard]] Expected {
 
   [[nodiscard]] T value_or(T fallback) const { return value_ ? *value_ : std::move(fallback); }
 
+  /// Pointer-style access after a truthiness test, mirroring std::optional:
+  /// `if (!report) ...; use(report->field);`. Same throwing contract as
+  /// value() -- dereferencing an error is a programming bug, not UB.
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
  private:
   std::optional<T> value_;
   Status status_;

@@ -194,6 +194,137 @@ bool write_task_set_file(const std::string& path, const TaskSet& set) {
   return true;
 }
 
+namespace {
+
+// Recognizes the two partition directives inside a comment. Anything else in
+// a comment is prose and ignored, but a comment whose first token IS a
+// directive keyword must parse completely -- a typo like "# cores" with no
+// count is an error, not a silently flat file.
+enum class Directive { kNone, kCores, kCore, kMalformed };
+
+Directive parse_directive(const std::string& comment, std::size_t& value, std::string& error) {
+  std::istringstream in(comment);
+  std::string word;
+  if (!(in >> word)) return Directive::kNone;
+  const bool is_cores = word == "cores";
+  const bool is_core = word == "core";
+  if (!is_cores && !is_core) return Directive::kNone;
+  long long parsed = -1;
+  std::string tail;
+  if (!(in >> parsed) || parsed < 0 || (in >> tail)) {
+    error = "malformed '# " + word + "' directive: '" + comment + "'";
+    return Directive::kMalformed;
+  }
+  value = static_cast<std::size_t>(parsed);
+  return is_cores ? Directive::kCores : Directive::kCore;
+}
+
+}  // namespace
+
+Expected<PartitionedTaskSet> load_partitioned_task_set(std::istream& in) {
+  // Slurp once so the directive scan and the flat parse see the same bytes.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.eof() && in.fail()) return Status::error("stream read failure");
+  const std::string text = buffer.str();
+
+  // Pass 1: map every task line to the core group it falls under. Directives
+  // live in comments, so this pass only needs to tell task lines (non-empty
+  // after stripping) from everything else; field validation is pass 2's job.
+  std::size_t cores = 0;
+  bool have_cores = false;
+  bool have_group = false;
+  std::size_t current = 0;
+  std::vector<std::size_t> task_core;
+  {
+    std::istringstream scan(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(scan, line)) {
+      ++line_no;
+      const std::string at_line = "line " + std::to_string(line_no) + ": ";
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) {
+        std::size_t value = 0;
+        std::string error;
+        switch (parse_directive(trim(line.substr(hash + 1)), value, error)) {
+          case Directive::kNone:
+            break;
+          case Directive::kMalformed:
+            return Status::error(at_line + error);
+          case Directive::kCores:
+            if (have_cores) return Status::error(at_line + "duplicate '# cores' directive");
+            if (!task_core.empty())
+              return Status::error(at_line + "'# cores' must precede every task line");
+            if (value == 0) return Status::error(at_line + "'# cores 0' is not a partition");
+            cores = value;
+            have_cores = true;
+            break;
+          case Directive::kCore:
+            if (!have_cores)
+              return Status::error(at_line + "'# core' before the '# cores M' directive");
+            if (value >= cores)
+              return Status::error(at_line + "'# core " + std::to_string(value) +
+                                   "' out of range for " + std::to_string(cores) + " cores");
+            current = value;
+            have_group = true;
+            break;
+        }
+        line.erase(hash);
+      }
+      if (trim(line).empty()) continue;
+      if (!have_cores)
+        return Status::error(at_line + "task line before the '# cores M' directive; "
+                             "not a partitioned task-set file");
+      if (!have_group)
+        return Status::error(at_line + "task line before any '# core c' marker");
+      task_core.push_back(current);
+    }
+  }
+  if (!have_cores) return Status::error("missing '# cores M' directive");
+
+  // Pass 2: the flat reader owns all per-field validation and diagnostics.
+  std::istringstream flat(text);
+  Expected<TaskSet> set = load_task_set(flat);
+  if (!set) return set.status();
+  // Both passes count exactly the non-blank stripped lines, so they agree.
+  PartitionedTaskSet result;
+  result.set = std::move(*set);
+  result.assignment.assign(cores, {});
+  for (std::size_t i = 0; i < task_core.size(); ++i)
+    result.assignment[task_core[i]].push_back(i);
+  return result;
+}
+
+Expected<PartitionedTaskSet> load_partitioned_task_set_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::error("cannot open '" + path + "'");
+  return load_partitioned_task_set(in);
+}
+
+void write_partitioned_task_set(std::ostream& out, const PartitionedTaskSet& partitioned) {
+  out << "# cores " << partitioned.assignment.size() << "\n";
+  out << "# name, crit, C(LO), C(HI), D(LO), D(HI), T(LO), T(HI)\n";
+  auto tick = [](Ticks t) { return is_inf(t) ? std::string("inf") : std::to_string(t); };
+  for (std::size_t c = 0; c < partitioned.assignment.size(); ++c) {
+    out << "# core " << c << "\n";
+    for (const std::size_t index : partitioned.assignment[c]) {
+      const McTask& t = partitioned.set[index];
+      out << t.name() << ", " << to_string(t.criticality()) << ", " << tick(t.wcet(Mode::LO))
+          << ", " << tick(t.wcet(Mode::HI)) << ", " << tick(t.deadline(Mode::LO)) << ", "
+          << tick(t.deadline(Mode::HI)) << ", " << tick(t.period(Mode::LO)) << ", "
+          << tick(t.period(Mode::HI)) << "\n";
+    }
+  }
+}
+
+bool write_partitioned_task_set_file(const std::string& path, const PartitionedTaskSet& partitioned) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_partitioned_task_set(out, partitioned);
+  return true;
+}
+
 std::string canonical_task_set(const TaskSet& set) {
   // One tuple per task, name-free; is_inf() collapses every >= kInfTicks
   // encoding of "+inf" onto a single representative so differently-saturated

@@ -12,9 +12,11 @@
 // constraints of Section II and reports precise line/field diagnostics.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "core/task.hpp"
 #include "support/status.hpp"
@@ -44,6 +46,40 @@ void write_task_set(std::ostream& out, const TaskSet& set);
 
 /// Writes to a file; returns false if the file cannot be opened.
 [[nodiscard]] bool write_task_set_file(const std::string& path, const TaskSet& set);
+
+/// A task set together with its core assignment (core/partition.hpp's
+/// output shape): assignment[c] lists task indices on core c.
+struct PartitionedTaskSet {
+  TaskSet set;
+  std::vector<std::vector<std::size_t>> assignment;
+};
+
+/// Multiprocessor task-set files extend the flat format with two comment
+/// directives -- comments to every flat reader, so a partitioned file loads
+/// as a plain TaskSet anywhere the partition is irrelevant:
+///
+///     # cores 2
+///     # core 0
+///     guidance, HI, 5, 10, 50, 100, 100, 100
+///     # core 1
+///     logging,  LO, 50, 50, 1000, inf, 1000, inf
+///
+/// `# cores M` (required, before the first task) declares the core count;
+/// `# core c` (0 <= c < M) opens a group, and every task line belongs to the
+/// most recent group. Empty cores are legal (a marker with no tasks). Task
+/// indices in the returned assignment refer to FILE ORDER; the writer below
+/// emits tasks grouped by core, so a round-trip preserves each core's task
+/// collection while renumbering tasks in core-grouped order.
+[[nodiscard]] Expected<PartitionedTaskSet> load_partitioned_task_set(std::istream& in);
+[[nodiscard]] Expected<PartitionedTaskSet> load_partitioned_task_set_file(const std::string& path);
+
+/// Writes the partitioned format (see above). Only tasks named by the
+/// assignment are written, grouped by core.
+void write_partitioned_task_set(std::ostream& out, const PartitionedTaskSet& partitioned);
+
+/// Writes to a file; returns false if the file cannot be opened.
+[[nodiscard]] bool write_partitioned_task_set_file(const std::string& path,
+                                                   const PartitionedTaskSet& partitioned);
 
 /// Canonical single-line serialization of a task set, the basis of the
 /// analysis server's content-hashed result cache (service/cache.hpp):

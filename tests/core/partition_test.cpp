@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/edf.hpp"
 #include "core/reset.hpp"
 #include "core/speedup.hpp"
@@ -105,6 +108,84 @@ TEST(PartitionTest, DecreasingNeverNeedsMoreCoresOnTheseSets) {
     const auto c2 = cores_needed(set, 8, ff);
     if (c1 && c2) EXPECT_LE(*c1, *c2 + 1);  // allow one-core slack for FF luck
   }
+}
+
+TEST(PartitionTest, SpeedupBudgetBoundaryIsToleranceRouted) {
+  // A budget sitting exactly on the pair's s_min (or within kSpeedTol of it)
+  // must be accepted -- the acceptance routes through approx_le, not the
+  // facade's exact hi_schedulable compare -- while a clearly smaller budget
+  // is rejected.
+  const TaskSet set = two_heavy_tasks();
+  const double s_min = min_speedup_value(set);
+  ASSERT_GT(s_min, 1.0);
+
+  PartitionOptions exact;
+  exact.hi_speedup = s_min;
+  EXPECT_TRUE(partition_first_fit(set, 1, exact).feasible);
+
+  PartitionOptions noise;
+  noise.hi_speedup = s_min - 1e-12;  // inside kSpeedTol
+  EXPECT_TRUE(partition_first_fit(set, 1, noise).feasible);
+
+  PartitionOptions below;
+  below.hi_speedup = s_min - 0.01;  // decisively below
+  EXPECT_FALSE(partition_first_fit(set, 1, below).feasible);
+}
+
+TEST(PartitionTest, ResetBudgetBoundaryIsToleranceRouted) {
+  const TaskSet set = two_heavy_tasks();
+  PartitionOptions options;
+  options.hi_speedup = 2.0;
+  const double delta_r = resetting_time_value(set, options.hi_speedup);
+  ASSERT_TRUE(std::isfinite(delta_r));
+  ASSERT_GT(delta_r, 0.0);
+
+  options.max_reset = delta_r;  // exactly on the budget: accepted
+  EXPECT_TRUE(partition_first_fit(set, 1, options).feasible);
+
+  options.max_reset = delta_r - 1e-9;  // inside kTimeTol: still accepted
+  EXPECT_TRUE(partition_first_fit(set, 1, options).feasible);
+
+  options.max_reset = delta_r * 0.5;  // decisively below: rejected
+  EXPECT_FALSE(partition_first_fit(set, 1, options).feasible);
+}
+
+TEST(PartitionTest, ReportsPerCoreResetTimes) {
+  PartitionOptions options;
+  options.hi_speedup = 2.0;
+  const PartitionResult r = partition_first_fit(two_heavy_tasks(), 2, options);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.core_delta_r.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    if (r.assignment[c].empty()) {
+      EXPECT_EQ(r.core_delta_r[c], 0.0);
+      continue;
+    }
+    std::vector<McTask> tasks;
+    for (std::size_t idx : r.assignment[c]) tasks.push_back(two_heavy_tasks()[idx]);
+    EXPECT_NEAR(r.core_delta_r[c], resetting_time_value(TaskSet(tasks), 2.0), 1e-9)
+        << "core " << c;
+  }
+}
+
+TEST(PartitionTest, HeterogeneousBudgetsPerCore) {
+  // Core 0 has no speedup headroom, core 1 a 2x budget: the pair must land
+  // with at most one task on core 0 and the rest on core 1.
+  PartitionOptions options;
+  options.core_budgets = {CoreBudget{1.0, std::numeric_limits<double>::infinity()},
+                          CoreBudget{2.0, std::numeric_limits<double>::infinity()}};
+  const PartitionResult r = partition_first_fit(two_heavy_tasks(), 2, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.assignment[0].size(), 1u);
+
+  // A budget vector that does not match the core count is a caller error.
+  EXPECT_FALSE(partition_first_fit(two_heavy_tasks(), 3, options).feasible);
+
+  // core_budget() resolves uniform vs heterogeneous.
+  EXPECT_EQ(core_budget(options, 1).hi_speedup, 2.0);
+  PartitionOptions uniform;
+  uniform.hi_speedup = 1.25;
+  EXPECT_EQ(core_budget(uniform, 7).hi_speedup, 1.25);
 }
 
 TEST(PartitionTest, FmsFitsOneCoreAtTwoX) {

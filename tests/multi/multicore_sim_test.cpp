@@ -1,0 +1,135 @@
+// MulticoreSim (sim/multicore.hpp): composition contract.
+//
+// The load-bearing assertion: with a single core and no faults, MulticoreSim
+// is BIT-IDENTICAL (EXPECT_EQ on every SimMetrics field, trace included) to
+// the uniprocessor event kernel on the differential suite's own scenarios --
+// the composition layer adds nothing and loses nothing. On top of that:
+// metric merging across cores, per-core fault plans, and request validation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/multicore.hpp"
+#include "sim/sim_corpus.hpp"
+#include "sim/simulate.hpp"
+
+namespace rbs::sim {
+namespace {
+
+using testkit::config_corpus;
+using testkit::expect_identical;
+using testkit::make_set;
+
+std::vector<std::vector<std::size_t>> everything_on_one_core(std::size_t n) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return {all};
+}
+
+TEST(MulticoreSimTest, SingleCoreBitIdenticalToUniprocessorKernelAcrossCorpus) {
+  MulticoreSim multicore;
+  Simulator uniprocessor;
+  for (std::uint64_t set_seed : {17u, 23u, 41u}) {
+    const TaskSet set = make_set(set_seed, 0.6);
+    for (const auto& [name, proto] : config_corpus()) {
+      SimConfig cfg = proto;
+      cfg.seed = set_seed * 100 + 1;
+      MulticoreRequest request;
+      request.set = set;
+      request.assignment = everything_on_one_core(set.size());
+      request.config = cfg;
+      const auto multi_report = multicore.run(request);
+      const auto uni_report = uniprocessor.run(set, cfg);
+      ASSERT_TRUE(multi_report.is_ok()) << name << ": " << multi_report.error_message();
+      ASSERT_TRUE(uni_report.is_ok()) << name;
+      ASSERT_EQ(multi_report->cores.size(), 1u);
+      // Core 0 runs with the seed unchanged, so the full report -- metrics,
+      // trace, termination -- must be indistinguishable from the
+      // uniprocessor kernel's.
+      EXPECT_EQ(multi_report->cores[0].termination, uni_report->termination) << name;
+      expect_identical(multi_report->cores[0].metrics, uni_report->metrics,
+                       name + " set=" + std::to_string(set_seed));
+      // With one core, local and global indexing coincide: the combined view
+      // agrees with the per-core metrics on everything but the trace.
+      expect_identical(multi_report->combined,
+                       [&] {
+                         SimMetrics no_trace = uni_report->metrics;
+                         no_trace.trace = Trace{};
+                         return no_trace;
+                       }(),
+                       name + " combined");
+    }
+  }
+}
+
+TEST(MulticoreSimTest, CombinedMetricsMergeAcrossCores) {
+  const TaskSet set({McTask::hi("h0", 2, 6, 8, 20, 20), McTask::lo("l0", 3, 15, 15),
+                     McTask::hi("h1", 2, 6, 8, 20, 20), McTask::lo("l1", 3, 15, 15)});
+  MulticoreRequest request;
+  request.set = set;
+  request.assignment = {{0, 1}, {2, 3}};
+  request.config.horizon = 1000.0;
+  request.config.hi_speed = 2.0;
+  request.config.demand.overrun_probability = 0.2;
+  MulticoreSim sim;
+  const auto report = sim.run(request);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->cores.size(), 2u);
+  EXPECT_TRUE(report->completed);
+
+  const SimMetrics& a = report->cores[0].metrics;
+  const SimMetrics& b = report->cores[1].metrics;
+  EXPECT_EQ(report->combined.jobs_released, a.jobs_released + b.jobs_released);
+  EXPECT_EQ(report->combined.jobs_completed, a.jobs_completed + b.jobs_completed);
+  EXPECT_EQ(report->combined.busy_time, a.busy_time + b.busy_time);
+  ASSERT_EQ(report->combined.task_stats.size(), 4u);
+  // Global remapping: core 1's local task 0 is global task 2.
+  EXPECT_EQ(report->combined.task_stats[2].released, b.task_stats[0].released);
+  EXPECT_EQ(report->combined.task_stats[1].released, a.task_stats[1].released);
+  // Identical task lists on both cores release identical job counts (no
+  // jitter), even though the per-core RNG streams differ.
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+}
+
+TEST(MulticoreSimTest, CoreFaultEndsOnlyThatCore) {
+  const TaskSet set({McTask::hi("h0", 2, 6, 8, 20, 20), McTask::hi("h1", 2, 6, 8, 20, 20)});
+  MulticoreRequest request;
+  request.set = set;
+  request.assignment = {{0}, {1}};
+  request.config.horizon = 500.0;
+  request.core_faults.resize(2);
+  request.core_faults[0].core_fail_at = 100.0;
+  MulticoreSim sim;
+  const auto report = sim.run(request);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->completed);  // a core fault is a completed run
+  EXPECT_EQ(report->cores[0].termination, SimTermination::kCoreFault);
+  EXPECT_EQ(report->cores[1].termination, SimTermination::kHorizon);
+  // The dying core's metrics are the honest prefix up to the fault.
+  EXPECT_LE(report->cores[0].metrics.horizon, 100.0 + 1e-9);
+  EXPECT_EQ(report->cores[1].metrics.horizon, 500.0);
+  // No plan and no survivor shortage: the displaced HI task was force-placed.
+  EXPECT_FALSE(report->used_plan);
+  EXPECT_EQ(report->forced_migrations, 1u);
+}
+
+TEST(MulticoreSimTest, RejectsMalformedRequests) {
+  const TaskSet set({McTask::hi("h", 2, 6, 8, 20, 20), McTask::lo("l", 3, 15, 15)});
+  MulticoreRequest request;
+  request.set = set;
+  request.assignment = {{0}, {0, 1}};  // task 0 on two cores
+  MulticoreSim sim;
+  EXPECT_FALSE(sim.run(request).is_ok());
+
+  request.assignment = {{0}};  // task 1 nowhere
+  EXPECT_FALSE(sim.run(request).is_ok());
+
+  request.assignment = {{0, 1}};
+  request.core_faults.resize(3);  // wrong per-core plan count
+  EXPECT_FALSE(sim.run(request).is_ok());
+}
+
+}  // namespace
+}  // namespace rbs::sim

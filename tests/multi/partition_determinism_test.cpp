@@ -1,0 +1,123 @@
+// Determinism of the FFD partitioner (core/partition.hpp): the documented
+// tie-break -- (criticality, C(LO), C(HI), D(LO), D(HI), T(LO), T(HI))
+// ascending among equal-utilization tasks -- makes the produced partition
+// invariant under renaming and under permutation of equal-utilization ties,
+// the property the offline resilience verdict and the online migrator both
+// lean on (the same file must partition the same way on every host).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace rbs {
+namespace {
+
+using ParamKey = std::tuple<int, Ticks, Ticks, Ticks, Ticks, Ticks, Ticks>;
+
+ParamKey key_of(const McTask& t) {
+  return {t.is_hi() ? 1 : 0,
+          t.wcet(Mode::LO),    t.wcet(Mode::HI),
+          t.deadline(Mode::LO), t.deadline(Mode::HI),
+          t.period(Mode::LO),  t.period(Mode::HI)};
+}
+
+// The partition's shape as sorted parameter-key lists per core: the
+// name-free, index-free view two equivalent inputs must agree on.
+std::vector<std::vector<ParamKey>> shape(const TaskSet& set, const PartitionResult& r) {
+  std::vector<std::vector<ParamKey>> out(r.assignment.size());
+  for (std::size_t c = 0; c < r.assignment.size(); ++c) {
+    for (std::size_t idx : r.assignment[c]) out[c].push_back(key_of(set[idx]));
+    std::sort(out[c].begin(), out[c].end());
+  }
+  return out;
+}
+
+// A workload with deliberate equal-utilization ties: a2/a1 share every
+// parameter (identical twins), b ties their total utilization with different
+// parameters, plus distinct heavier tasks to occupy the first bins.
+std::vector<McTask> tied_tasks(const std::string& prefix) {
+  return {
+      McTask::hi(prefix + "heavy", 4, 12, 10, 24, 24),   // U = 1/6 + 1/2
+      McTask::lo(prefix + "mid", 6, 18, 18),             // U = 1/3 (LO only)
+      McTask::hi(prefix + "a1", 2, 6, 8, 20, 20),        // U = 0.1 + 0.3
+      McTask::hi(prefix + "a2", 2, 6, 8, 20, 20),        // identical twin
+      McTask::hi(prefix + "b", 4, 4, 10, 20, 20),        // U = 0.2 + 0.2: total ties a1
+      McTask::lo(prefix + "light", 1, 25, 25),           // U = 0.04
+  };
+}
+
+TEST(PartitionDeterminismTest, InvariantUnderRenaming) {
+  const TaskSet original(tied_tasks("x_"));
+  const TaskSet renamed(tied_tasks("totally_different_"));
+  const PartitionResult a = partition_first_fit(original, 3);
+  const PartitionResult b = partition_first_fit(renamed, 3);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  // Names never enter the order, so even the raw index assignment matches.
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(PartitionDeterminismTest, InvariantUnderPermutationOfTies) {
+  const std::vector<McTask> tasks = tied_tasks("p_");
+  const TaskSet forward(tasks);
+  std::vector<McTask> reversed_tasks(tasks.rbegin(), tasks.rend());
+  const TaskSet reversed(reversed_tasks);
+  std::vector<McTask> rotated_tasks(tasks.begin() + 2, tasks.end());
+  rotated_tasks.insert(rotated_tasks.end(), tasks.begin(), tasks.begin() + 2);
+  const TaskSet rotated(rotated_tasks);
+
+  const PartitionResult a = partition_first_fit(forward, 3);
+  const PartitionResult b = partition_first_fit(reversed, 3);
+  const PartitionResult c = partition_first_fit(rotated, 3);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  ASSERT_TRUE(c.feasible);
+  // Indices shift with the permutation; the parameter-level shape must not.
+  EXPECT_EQ(shape(forward, a), shape(reversed, b));
+  EXPECT_EQ(shape(forward, a), shape(rotated, c));
+}
+
+TEST(PartitionDeterminismTest, EmptySetFeasibleOnEveryCoreCount) {
+  for (std::size_t cores : {std::size_t{1}, std::size_t{3}}) {
+    const PartitionResult r = partition_first_fit(TaskSet{}, cores);
+    EXPECT_TRUE(r.feasible);
+    ASSERT_EQ(r.assignment.size(), cores);
+    ASSERT_EQ(r.core_s_min.size(), cores);
+    ASSERT_EQ(r.core_delta_r.size(), cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+      EXPECT_TRUE(r.assignment[c].empty());
+      EXPECT_EQ(r.core_s_min[c], 0.0);
+      EXPECT_EQ(r.core_delta_r[c], 0.0);
+    }
+  }
+}
+
+TEST(PartitionDeterminismTest, InfeasibleTaskNamedNoMatterTheCoreCount) {
+  // s_min of this task is ~0.9 alone, far above a 0.5x budget: it fits no
+  // core, and FFD must say which task failed rather than just "no".
+  const TaskSet set({McTask::hi("too_big", 5, 18, 10, 20, 20)});
+  PartitionOptions options;
+  options.hi_speedup = 0.5;
+  for (std::size_t cores : {std::size_t{1}, std::size_t{4}}) {
+    const PartitionResult r = partition_first_fit(set, cores, options);
+    EXPECT_FALSE(r.feasible);
+    ASSERT_TRUE(r.rejected_task.has_value());
+    EXPECT_EQ(*r.rejected_task, 0u);
+  }
+}
+
+TEST(PartitionDeterminismTest, RepeatedRunsBitIdentical) {
+  const TaskSet set(tied_tasks("r_"));
+  const PartitionResult a = partition_first_fit(set, 3);
+  const PartitionResult b = partition_first_fit(set, 3);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.core_s_min, b.core_s_min);
+  EXPECT_EQ(a.core_delta_r, b.core_delta_r);
+}
+
+}  // namespace
+}  // namespace rbs

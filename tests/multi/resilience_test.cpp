@@ -1,0 +1,179 @@
+// Offline k-failure tolerance analysis (multi/resilience.hpp): validation,
+// verdicts, spare assignments and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "multi/resilience.hpp"
+
+namespace rbs::multi {
+namespace {
+
+// A light HI task: U(LO) = 0.1, U(HI) = 0.3.
+McTask light_hi(const std::string& name) { return McTask::hi(name, 2, 6, 8, 20, 20); }
+
+// A heavy HI task: U(LO) = 0.25, U(HI) = 0.9 -- two of them on one core need
+// more than a 1.5x budget in HI mode.
+McTask heavy_hi(const std::string& name) { return McTask::hi(name, 5, 18, 10, 20, 20); }
+
+MultiRequest two_light_cores() {
+  MultiRequest request;
+  request.set = TaskSet({light_hi("a"), light_hi("b"), McTask::lo("l0", 2, 30, 30),
+                         McTask::lo("l1", 2, 30, 30)});
+  request.assignment = {{0, 2}, {1, 3}};
+  request.budgets.assign(2, CoreBudget{});
+  return request;
+}
+
+TEST(ResilienceTest, RejectsMalformedRequests) {
+  MultiRequest request = two_light_cores();
+  request.assignment.clear();
+  request.budgets.clear();
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.budgets.resize(1);
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.budgets[0].hi_speedup = 0.0;
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.tolerance = 2;  // no surviving core
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.consider_fail_stop = false;
+  request.consider_boost_denial = false;
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.assignment = {{0, 2}, {3}};  // task 1 unassigned
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.assignment = {{0, 2, 1}, {1, 3}};  // task 1 on two cores
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+
+  request = two_light_cores();
+  request.max_scenarios = 1;  // 2 cores x 2 classes = 4 scenarios
+  EXPECT_FALSE(analyze_resilience(request).is_ok());
+}
+
+TEST(ResilienceTest, ToleranceZeroChecksOnlyTheNominalPartition) {
+  MultiRequest request = two_light_cores();
+  request.tolerance = 0;
+  const auto report = analyze_resilience(request);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->nominal_feasible);
+  EXPECT_TRUE(report->tolerant);
+  EXPECT_EQ(report->scenarios_checked, 0u);
+  EXPECT_TRUE(report->scenarios.empty());
+  ASSERT_EQ(report->core_reports.size(), 2u);
+  for (const CoreReport& core : report->core_reports) {
+    EXPECT_TRUE(core.feasible);
+    EXPECT_GT(core.speed_margin, 0.0);
+    EXPECT_GT(core.u_hi, 0.0);
+  }
+}
+
+TEST(ResilienceTest, LightPartitionToleratesAnySingleCoreFault) {
+  MultiRequest request = two_light_cores();
+  const auto report = analyze_resilience(request);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->tolerant);
+  // 2 cores x {fail-stop, boost-denied} = 4 scenarios.
+  EXPECT_EQ(report->scenarios_checked, 4u);
+  EXPECT_EQ(report->scenarios_infeasible, 0u);
+  EXPECT_GT(report->analyzer_calls, 0u);
+
+  // The fail-stop of core 0 migrates its HI task to core 1 and loses its LO
+  // task outright.
+  const FailureScenario* sc = find_scenario(*report, {0}, {CoreFaultClass::kFailStop});
+  ASSERT_NE(sc, nullptr);
+  EXPECT_TRUE(sc->feasible);
+  ASSERT_EQ(sc->migrations.size(), 1u);
+  EXPECT_EQ(sc->migrations[0].task, 0u);
+  EXPECT_EQ(sc->migrations[0].from_core, 0u);
+  EXPECT_EQ(sc->migrations[0].to_core, 1u);
+  ASSERT_EQ(sc->lost_lo.size(), 1u);
+  EXPECT_EQ(sc->lost_lo[0], 2u);
+  // The receiving core's post-migration requirement is real and within
+  // budget.
+  ASSERT_EQ(sc->post_s_min.size(), 2u);
+  EXPECT_GT(sc->post_s_min[1], 0.0);
+  EXPECT_LE(sc->post_s_min[1], request.budgets[1].hi_speedup);
+
+  // An unenumerated signature is not found.
+  EXPECT_EQ(find_scenario(*report, {0, 1},
+                          {CoreFaultClass::kFailStop, CoreFaultClass::kFailStop}),
+            nullptr);
+}
+
+TEST(ResilienceTest, OverloadedMergeIsReportedNotTolerant) {
+  // Each core is feasible alone under a 1.5x budget, but the merged pair
+  // needs ~1.8x, so neither survivor can absorb the other's task.
+  MultiRequest request;
+  request.set = TaskSet({heavy_hi("a"), heavy_hi("b")});
+  request.assignment = {{0}, {1}};
+  CoreBudget budget;
+  budget.hi_speedup = 1.5;
+  request.budgets.assign(2, budget);
+  request.consider_boost_denial = false;
+  const auto report = analyze_resilience(request);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report->nominal_feasible);
+  EXPECT_FALSE(report->tolerant);
+  EXPECT_GT(report->scenarios_infeasible, 0u);
+  const FailureScenario* sc = find_scenario(*report, {0}, {CoreFaultClass::kFailStop});
+  ASSERT_NE(sc, nullptr);
+  EXPECT_FALSE(sc->feasible);
+  EXPECT_TRUE(sc->migrations.empty());  // nothing fit anywhere
+}
+
+TEST(ResilienceTest, BoostDenialOnLoOnlyCoreIsHarmless) {
+  MultiRequest request;
+  request.set = TaskSet({light_hi("h"), McTask::lo("l", 3, 15, 15)});
+  request.assignment = {{1}, {0}};  // core 0 holds only the LO task
+  request.budgets.assign(2, CoreBudget{});
+  const auto report = analyze_resilience(request);
+  ASSERT_TRUE(report.is_ok());
+  const FailureScenario* sc = find_scenario(*report, {0}, {CoreFaultClass::kBoostDenied});
+  ASSERT_NE(sc, nullptr);
+  EXPECT_TRUE(sc->feasible);
+  EXPECT_TRUE(sc->migrations.empty());
+  EXPECT_TRUE(sc->degraded_lo.empty());
+}
+
+TEST(ResilienceTest, DeterministicAcrossRepeatedRuns) {
+  const MultiRequest request = two_light_cores();
+  const auto a = analyze_resilience(request);
+  const auto b = analyze_resilience(request);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->scenarios.size(), b->scenarios.size());
+  for (std::size_t i = 0; i < a->scenarios.size(); ++i) {
+    const FailureScenario& sa = a->scenarios[i];
+    const FailureScenario& sb = b->scenarios[i];
+    EXPECT_EQ(sa.faulted, sb.faulted) << "scenario " << i;
+    EXPECT_EQ(sa.classes, sb.classes) << "scenario " << i;
+    EXPECT_EQ(sa.feasible, sb.feasible) << "scenario " << i;
+    ASSERT_EQ(sa.migrations.size(), sb.migrations.size()) << "scenario " << i;
+    for (std::size_t m = 0; m < sa.migrations.size(); ++m) {
+      EXPECT_EQ(sa.migrations[m].task, sb.migrations[m].task);
+      EXPECT_EQ(sa.migrations[m].from_core, sb.migrations[m].from_core);
+      EXPECT_EQ(sa.migrations[m].to_core, sb.migrations[m].to_core);
+    }
+  }
+}
+
+TEST(ResilienceTest, FaultClassNamesAreStable) {
+  EXPECT_EQ(to_string(CoreFaultClass::kFailStop), "fail-stop");
+  EXPECT_EQ(to_string(CoreFaultClass::kBoostDenied), "boost-denied");
+}
+
+}  // namespace
+}  // namespace rbs::multi

@@ -182,6 +182,112 @@ TEST(TaskSetIoTest, MissingFileReported) {
   EXPECT_EQ(std::get<ParseError>(result).line, 0);
 }
 
+// --- partitioned task-set files (# cores / # core directives) --------------
+
+std::string partition_error(const std::string& text) {
+  std::istringstream in(text);
+  const Expected<PartitionedTaskSet> result = load_partitioned_task_set(in);
+  EXPECT_FALSE(result.is_ok()) << "expected a parse error for:\n" << text;
+  return result.is_ok() ? std::string{} : result.status().message();
+}
+
+TEST(PartitionedTaskSetIoTest, RoundTripsAssignmentIncludingEmptyCore) {
+  PartitionedTaskSet original;
+  original.set = TaskSet({McTask::hi("h0", 1, 2, 3, 6, 6), McTask::lo("l0", 2, 8, 8),
+                          McTask::hi("h1", 1, 2, 4, 7, 7), McTask::lo_terminated("l1", 2, 9, 9)});
+  // Core 1 deliberately empty; core 0's tasks deliberately out of index order.
+  original.assignment = {{2, 0}, {}, {1, 3}};
+
+  std::ostringstream out;
+  write_partitioned_task_set(out, original);
+  std::istringstream in(out.str());
+  const Expected<PartitionedTaskSet> back = load_partitioned_task_set(in);
+  ASSERT_TRUE(back.is_ok()) << back.status().message();
+
+  // The writer renumbers tasks into core-grouped file order; the per-core
+  // task collections (by name and parameters) are what round-trips.
+  ASSERT_EQ(back->assignment.size(), 3u);
+  EXPECT_TRUE(back->assignment[1].empty());
+  std::vector<std::vector<std::string>> original_names(3), loaded_names(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t idx : original.assignment[c])
+      original_names[c].push_back(original.set[idx].name());
+    for (std::size_t idx : back->assignment[c])
+      loaded_names[c].push_back(back->set[idx].name());
+  }
+  EXPECT_EQ(loaded_names, original_names);
+  EXPECT_EQ(canonical_task_set(back->set), canonical_task_set(original.set));
+  EXPECT_TRUE(back->set[back->assignment[2][1]].dropped_in_hi());
+
+  // The directives live in comments, so the FLAT reader still accepts the
+  // same bytes: partitioned files remain valid uniprocessor inputs.
+  const TaskSet flat = parse_or_die(out.str());
+  EXPECT_EQ(flat.size(), 4u);
+}
+
+TEST(PartitionedTaskSetIoTest, FileRoundTrip) {
+  PartitionedTaskSet original;
+  original.set = TaskSet({McTask::hi("h", 1, 2, 3, 6, 6), McTask::lo("l", 2, 8, 8)});
+  original.assignment = {{0}, {1}};
+  const std::string path = testing::TempDir() + "/rbs_part_ts.txt";
+  ASSERT_TRUE(write_partitioned_task_set_file(path, original));
+  const Expected<PartitionedTaskSet> back = load_partitioned_task_set_file(path);
+  ASSERT_TRUE(back.is_ok()) << back.status().message();
+  EXPECT_EQ(back->assignment.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PartitionedTaskSetIoTest, FlatFileIsNotAPartitionedFile) {
+  // A task line with no '# cores' header is diagnosed, with its line number,
+  // as a flat file -- never silently treated as a one-core partition.
+  const std::string e = partition_error("a, HI, 1, 2, 3, 6, 6, 6\n");
+  EXPECT_NE(e.find("line 1"), std::string::npos) << e;
+  EXPECT_NE(e.find("# cores"), std::string::npos) << e;
+  EXPECT_NE(partition_error("# just a comment\n").find("missing '# cores M'"),
+            std::string::npos);
+}
+
+TEST(PartitionedTaskSetIoTest, DirectiveErrorsAreLineNumbered) {
+  // Task before any core marker.
+  EXPECT_NE(partition_error("# cores 2\na, HI, 1, 2, 3, 6, 6, 6\n")
+                .find("line 2: task line before any '# core c' marker"),
+            std::string::npos);
+  // Core index out of range.
+  EXPECT_NE(partition_error("# cores 2\n# core 5\n").find("out of range"),
+            std::string::npos);
+  // '# core' before '# cores'.
+  EXPECT_NE(partition_error("# core 0\n# cores 2\n").find("line 1"), std::string::npos);
+  // Zero cores is not a partition.
+  EXPECT_NE(partition_error("# cores 0\n").find("'# cores 0'"), std::string::npos);
+  // Duplicate '# cores'.
+  EXPECT_NE(partition_error("# cores 2\n# cores 2\n").find("duplicate"), std::string::npos);
+  // A directive keyword that does not parse completely is an error, not prose.
+  EXPECT_NE(partition_error("# cores\n").find("malformed"), std::string::npos);
+  EXPECT_NE(partition_error("# cores 2 surplus\n").find("malformed"), std::string::npos);
+}
+
+TEST(PartitionedTaskSetIoTest, ProseCommentsStayProse) {
+  // Comments whose first token is not a directive keyword are ignored even
+  // when they mention cores somewhere later.
+  const std::string text =
+      "# cores 1\n"
+      "# this file has many cores of wisdom\n"
+      "# core 0\n"
+      "t, LO, 1, 1, 5, 5, 5, 5\n";
+  std::istringstream in(text);
+  const Expected<PartitionedTaskSet> result = load_partitioned_task_set(in);
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  EXPECT_EQ(result->assignment[0].size(), 1u);
+}
+
+TEST(PartitionedTaskSetIoTest, FieldValidationStillComesFromTheFlatReader) {
+  // Pass 2 owns per-field diagnostics: a model violation inside a valid
+  // directive skeleton is still reported.
+  const std::string e =
+      partition_error("# cores 1\n# core 0\nbad, HI, 5, 3, 4, 7, 7, 7\n");
+  EXPECT_FALSE(e.empty());
+}
+
 // --- canonical serialization (the analysis server's cache key) -------------
 
 TEST(CanonicalTaskSetTest, EmptySetIsEmptyString) {

@@ -80,7 +80,15 @@ def main(argv):
 
     regressions = []
     simulator_drift = []
-    width = max((len(name) for name in reference), default=10)
+    # Benchmarks present in the fresh run but absent from the reference are
+    # expected whenever a change ADDS benchmarks (the committed reference is
+    # refreshed deliberately, usually in a follow-up): report them as rows,
+    # never as errors, so growing the bench suite cannot fail the drift check.
+    new_benches = sorted(set(current) - set(reference))
+    width = max(
+        max((len(name) for name in reference), default=10),
+        max((len(name) for name in new_benches), default=10),
+    )
     print(f"{'benchmark':<{width}}  {'ref cpu':>12}  {'cur cpu':>12}  {'delta':>8}")
     for name in sorted(reference):
         ref_ns = reference[name]
@@ -99,8 +107,14 @@ def main(argv):
             simulator_drift.append((name, f"{delta:+.1%} vs reference"))
         print(f"{name:<{width}}  {ref_ns:>10.0f}ns  {cur_ns:>10.0f}ns  {delta:>+7.1%}{flag}")
 
-    for name in sorted(set(current) - set(reference)):
-        print(f"note: {name}: not in reference (new benchmark?)")
+    for name in new_benches:
+        cur_ns = current[name]
+        print(f"{name:<{width}}  {'no baseline':>12}  {cur_ns:>10.0f}ns  {'new':>8}")
+    if new_benches:
+        print(
+            f"\nnote: {len(new_benches)} benchmark(s) new, no baseline (warn-only; "
+            "refresh the committed reference to start tracking them)"
+        )
 
     if simulator_drift:
         print(
