@@ -19,6 +19,7 @@
 #include "rbs.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/det_annotations.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -90,7 +91,8 @@ inline CheckpointConfig parse_checkpoint(const CliArgs& args) {
 /// Encodes a result row as comma-joined %.17g fields -- enough digits that
 /// decode_fields() round-trips every double bit-exactly, so a row replayed
 /// from a journal is byte-identical to a freshly computed one.
-inline std::string encode_fields(const std::vector<double>& values) {
+/// RBS_DET_PATH: journaled payloads are byte-compared across resume runs.
+RBS_DET_PATH inline std::string encode_fields(const std::vector<double>& values) {
   std::string out;
   char buffer[64];
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -129,11 +131,13 @@ inline bool decode_flag(double field) { return field > 0.5; }
 /// quarantine, and SIGINT/SIGTERM drain. Exits with kExitResumable when
 /// interrupted (rerun with --resume to finish) and with 1 when a --resume
 /// journal is corrupt or belongs to a different workload.
-inline campaign::CampaignReport run_checkpointed(const CheckpointConfig& cfg,
-                                                 const std::string& name,
-                                                 const campaign::CampaignOptions& options,
-                                                 std::size_t count,
-                                                 const campaign::SupervisedFn& fn) {
+/// RBS_DET_PATH: the whole checkpoint/resume/report pipeline underneath must
+/// reproduce bit-for-bit (item bodies arrive as an opaque SupervisedFn and
+/// are audited at their own definition sites).
+RBS_DET_PATH inline campaign::CampaignReport run_checkpointed(
+    const CheckpointConfig& cfg, const std::string& name,
+    const campaign::CampaignOptions& options, std::size_t count,
+    const campaign::SupervisedFn& fn) {
   using campaign::JournalWriter;
   using campaign::LoadedJournal;
 
@@ -217,7 +221,8 @@ inline campaign::CampaignReport run_checkpointed(const CheckpointConfig& cfg,
 /// Quarantined or pending items stay default-constructed -- aggregation
 /// treats them like generator misses; run_checkpointed() already warned.
 template <typename Item, typename DecodeFn>
-std::vector<Item> gather_items(const campaign::CampaignReport& report, DecodeFn decode) {
+RBS_DET_PATH std::vector<Item> gather_items(const campaign::CampaignReport& report,
+                                            DecodeFn decode) {
   std::vector<Item> items(report.items.size());
   std::size_t undecodable = 0;
   for (std::size_t i = 0; i < report.items.size(); ++i) {

@@ -10,6 +10,7 @@
 
 #include "support/atomic_file.hpp"
 #include "support/crc32.hpp"
+#include "support/det_annotations.hpp"
 
 namespace rbs::campaign {
 
@@ -297,7 +298,9 @@ Status fold_record(std::map<std::uint64_t, ItemFold>& folds, const JournalRecord
 
 }  // namespace
 
-std::string serialize_header(const JournalHeader& header) {
+// RBS_DET_PATH on the codec pair: resume byte-compares replayed journals, so
+// serialization must produce identical bytes for identical records.
+RBS_DET_PATH std::string serialize_header(const JournalHeader& header) {
   std::ostringstream line;
   line << "{\"rbs_journal\":" << kJournalVersion << ",\"seed\":" << header.seed
        << ",\"items\":" << header.items << ",\"tag\":\"" << json_escape(header.tag)
@@ -305,7 +308,7 @@ std::string serialize_header(const JournalHeader& header) {
   return line.str();
 }
 
-std::string serialize_record(const JournalRecord& record) {
+RBS_DET_PATH std::string serialize_record(const JournalRecord& record) {
   std::ostringstream line;
   line << "{\"i\":" << record.index << ",\"a\":" << record.attempt << ",\"k\":\""
        << kind_name(record.kind) << "\",\"p\":\"" << json_escape(record.payload)
@@ -326,7 +329,9 @@ std::uint32_t LoadedJournal::failed_attempts(std::uint64_t index) const {
   return n;
 }
 
-Expected<LoadedJournal> load_journal(const std::string& path) {
+// RBS_DET_PATH: replay decides which items rerun on resume; the fold must
+// depend only on record content and append order, never ambient state.
+RBS_DET_PATH Expected<LoadedJournal> load_journal(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::error("cannot open journal '" + path + "'");
   std::ostringstream buffer;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "support/det_annotations.hpp"
 #include "support/rt_annotations.hpp"
 
 namespace rbs::campaign {
@@ -75,8 +76,12 @@ CampaignRunner::CampaignRunner(const CampaignOptions& options) : options_(option
 
 CampaignRunner::~CampaignRunner() = default;
 
-void CampaignRunner::for_each(std::size_t count,
-                              const std::function<void(std::size_t, Rng&)>& fn) const {
+// RBS_DET_PATH: the byte-identical --jobs N contract starts here -- per-item
+// SplitMix64 streams, an order-free cursor, and input-order error selection.
+// `fn` is opaque to the det walk (the documented std::function fallback);
+// item bodies are audited at their own definition sites, analyze_impl-style.
+RBS_DET_PATH void CampaignRunner::for_each(
+    std::size_t count, const std::function<void(std::size_t, Rng&)>& fn) const {
   if (count == 0) return;
 
   if (!pool_) {  // jobs == 1: the serial baseline, no pool involved at all
@@ -95,7 +100,9 @@ void CampaignRunner::for_each(std::size_t count,
   if (drain.first_error) std::rethrow_exception(drain.first_error);
 }
 
-std::vector<Expected<AnalysisReport>> CampaignRunner::analyze_all(
+// RBS_DET_PATH: the slot-array gather (`reports[i] = ...`) is the fixed
+// input-order discipline det-fp-reassoc points campaign code at.
+RBS_DET_PATH std::vector<Expected<AnalysisReport>> CampaignRunner::analyze_all(
     const std::vector<AnalysisRequest>& requests) const {
   std::vector<Expected<AnalysisReport>> reports(
       requests.size(), Expected<AnalysisReport>(Status::error("not analyzed")));

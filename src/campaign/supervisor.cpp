@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/det_annotations.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace rbs::campaign {
@@ -63,7 +64,12 @@ DeadlineWatchdog::~DeadlineWatchdog() {
   thread_.join();
 }
 
-std::uint64_t DeadlineWatchdog::watch(std::shared_ptr<CancelToken> token) {
+// RBS_DET_ESCAPE: the arming timestamp measures real elapsed time and decides
+// only *whether a deterministic retry happens*, never what any retry
+// computes -- the per-item seed stream replays identically. The canonical
+// justified wall-clock read rbs_det's escape policy exists for.
+std::uint64_t DeadlineWatchdog::watch(std::shared_ptr<CancelToken> token)
+    RBS_DET_ESCAPE(watchdog_arming_timestamp_never_in_results) {
   if (!active() || token == nullptr) return 0;
   const LockGuard lock(mutex_);
   const std::uint64_t id = next_id_++;
@@ -129,8 +135,11 @@ Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
   }
 }
 
-CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
-                               const LoadedJournal* resume) const {
+// RBS_DET_PATH: the SIGKILL/resume byte-compare suites ride on this function
+// producing the same report (and the same journal bytes) for the same seed
+// and journal state, at any worker count.
+RBS_DET_PATH CampaignReport Supervisor::run(std::size_t count, const SupervisedFn& fn,
+                                            const LoadedJournal* resume) const {
   CampaignReport report;
   report.items.resize(count);
   if (count == 0) return report;

@@ -9,6 +9,7 @@
 #include "core/breakpoints.hpp"
 #include "core/dbf.hpp"
 #include "core/edf.hpp"
+#include "support/det_annotations.hpp"
 #include "support/rt_annotations.hpp"
 
 namespace rbs {
@@ -215,8 +216,12 @@ RBS_HOT_PATH std::size_t run_fused_sweep(const TaskSet& set, TaggedBreakpointMer
   return fused;
 }
 
-Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed, double lo_speed,
-                                      const AnalysisParts& parts, const AnalysisLimits& limits) {
+// RBS_DET_PATH: every byte of the report is content-keyed (service cache) and
+// journaled (campaign resume), so the whole reachable tree must be
+// reproducible across runs, machines and --jobs counts.
+RBS_DET_PATH Expected<AnalysisReport> analyze_impl(const TaskSet& set, double speed,
+                                                   double lo_speed, const AnalysisParts& parts,
+                                                   const AnalysisLimits& limits) {
   if (parts.reset && (!std::isfinite(speed) || speed <= 0.0))
     return Status::error("analyze: Delta_R needs a positive, finite speed, got " +
                          std::to_string(speed));

@@ -3,13 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <list>
+#include <map>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "campaign/journal.hpp"
+#include "support/det_annotations.hpp"
 #include "support/taskset_io.hpp"
 #include "support/thread_annotations.hpp"
 
@@ -36,7 +37,10 @@ std::string format_double(double value) {
 
 }  // namespace
 
-std::string serialize_report(const AnalysisReport& r) {
+// RBS_DET_PATH: these bytes are WAL payloads and client responses; two runs
+// computing the same report must serialize to identical text (%.17g
+// round-trips every double exactly).
+RBS_DET_PATH std::string serialize_report(const AnalysisReport& r) {
   std::string out;
   out.reserve(192);
   const auto add = [&out](const std::string& field) {
@@ -109,7 +113,9 @@ Expected<AnalysisReport> parse_report(const std::string& line) {
   return r;
 }
 
-std::string cache_key(const AnalysisRequest& request) {
+// RBS_DET_PATH: the single-flight and warm-start contracts need equal
+// requests to map to equal keys across processes and machines.
+RBS_DET_PATH std::string cache_key(const AnalysisRequest& request) {
   // 0x1e (record separator) joins the sections; it cannot occur in any of
   // them. `priority` is deliberately excluded: it routes the request, it
   // never changes the report. Degradation IS part of the key (via limits),
@@ -141,10 +147,15 @@ struct ResultCache::Impl {
   mutable Mutex mutex;
   CondVar flight_cv;  ///< publish/abandon wakes same-key waiters
 
-  /// Front = most recently used. `index` maps key -> list node.
+  /// Front = most recently used. `index` maps key -> list node. Ordered
+  /// containers on purpose: eviction and WAL compaction walk `lru` (never the
+  /// index), but keeping every structure on the WAL path free of salted
+  /// bucket order is what lets rbs_det's det-unordered-iter gate hold here
+  /// with zero escapes -- compacted WALs byte-compare across runs
+  /// (tests/service/cache_test.cpp pins it).
   std::list<LruEntry> lru RBS_GUARDED_BY(mutex);
-  std::unordered_map<std::string, std::list<LruEntry>::iterator> index RBS_GUARDED_BY(mutex);
-  std::unordered_set<std::string> inflight RBS_GUARDED_BY(mutex);
+  std::map<std::string, std::list<LruEntry>::iterator> index RBS_GUARDED_BY(mutex);
+  std::set<std::string> inflight RBS_GUARDED_BY(mutex);
   Stats stat RBS_GUARDED_BY(mutex);
 
   std::optional<campaign::JournalWriter> wal RBS_GUARDED_BY(mutex);
@@ -173,7 +184,10 @@ ResultCache::ResultCache(ResultCache&&) noexcept = default;
 ResultCache& ResultCache::operator=(ResultCache&&) noexcept = default;
 ResultCache::~ResultCache() = default;
 
-Expected<ResultCache> ResultCache::open(const Options& options) {
+// RBS_DET_PATH: replay + compaction decide which entries survive and in what
+// WAL order; both walk the recency list, so two opens of the same journal
+// write byte-identical compacted WALs.
+RBS_DET_PATH Expected<ResultCache> ResultCache::open(const Options& options) {
   auto impl = std::make_unique<Impl>();
   impl->options = options;
   impl->options.capacity = std::max<std::size_t>(1, impl->options.capacity);
@@ -254,7 +268,7 @@ ResultCache::Lookup ResultCache::lookup_or_begin(const std::string& key) {
   }
 }
 
-Status ResultCache::publish(const std::string& key, const std::string& value) {
+RBS_DET_PATH Status ResultCache::publish(const std::string& key, const std::string& value) {
   Status wal_status = Status::ok();
   {
     const LockGuard lock(impl_->mutex);

@@ -1,5 +1,7 @@
 #include "sim/simulate.hpp"
 
+#include "support/det_annotations.hpp"
+
 namespace rbs::sim {
 
 Expected<SimReport> Simulator::run(const TaskSet& set, const SimConfig& config,
@@ -9,7 +11,10 @@ Expected<SimReport> Simulator::run(const TaskSet& set, const SimConfig& config,
   return kernel_.run(set, config, limits);
 }
 
-Expected<SimReport> simulate(const SimRequest& request) {
+// RBS_DET_PATH: traces and reports feed the differential corpus's
+// EXPECT_EQ-on-doubles and the SIGKILL/resume byte-compares, so the whole
+// event-kernel tree underneath must be bit-for-bit reproducible.
+RBS_DET_PATH Expected<SimReport> simulate(const SimRequest& request) {
   Simulator simulator;
   return simulator.run(request);
 }

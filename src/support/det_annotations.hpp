@@ -1,0 +1,49 @@
+// Determinism discipline annotations, machine-checked by rbs_det
+// (tools/rbs_lint, rules det-unordered-iter / det-wallclock / det-rng /
+// det-fp-reassoc).
+//
+// Everything the repo's scale mechanisms promise hinges on bit-for-bit
+// reproducibility: byte-identical `--jobs N` campaigns, content-keyed cache
+// hits, crash-safe WAL replay, SIGKILL/resume byte-compares, and the
+// EXPECT_EQ-on-doubles differential corpus. One `unordered_map` iteration
+// feeding a result path, one wall-clock read in a gather loop, or one
+// reassociated floating-point reduction across pool workers silently breaks
+// all of them -- results diverge across runs, machines, or worker counts.
+//
+// The contract mirrors the real-time layer (rt_annotations.hpp): annotate
+// the entry points, let the analyzer walk the whole call tree.
+//
+//   RBS_DET_PATH          function is a determinism root: every byte of its
+//                         result must be reproducible across runs, machines
+//                         and --jobs counts. rbs_det BFS-walks every function
+//                         reachable from it (across files, via quoted
+//                         includes) and flags unordered-container iteration,
+//                         wall-clock reads, unseeded/global RNG, and
+//                         cross-worker floating-point reduction anywhere in
+//                         the tree.
+//   RBS_DET_SAFE          audited leaf: the body has been reviewed as
+//                         order-independent in ways the lexical walk cannot
+//                         prove (e.g. an unordered_map used for membership
+//                         lookups only, never iterated into output). The
+//                         walk neither scans nor descends into it. Use
+//                         sparingly; document at the definition.
+//   RBS_DET_ESCAPE(why)   justified exception: the body may read the clock
+//                         or use ambient randomness, and that is acceptable
+//                         for the stated reason because it cannot reach the
+//                         result bytes (watchdog arming, deadline stamping,
+//                         jittered retry backoff). The reason is mandatory --
+//                         an unquoted snake_case phrase, e.g.
+//                         RBS_DET_ESCAPE(watchdog_deadline_never_in_output).
+//                         rbs_det rejects an empty reason.
+//
+// The macros expand to nothing on every compiler; they exist for rbs_det
+// (which recognizes them lexically at declaration and definition sites) and
+// for the human reader. The companion compiler-side half of det-fp-reassoc
+// is `-ffp-contract=off` on the core/sim targets (see src/core/CMakeLists.txt
+// and src/sim/CMakeLists.txt): without it, fused multiply-add contraction
+// makes the same source produce different bits on different hardware.
+#pragma once
+
+#define RBS_DET_PATH
+#define RBS_DET_SAFE
+#define RBS_DET_ESCAPE(...)

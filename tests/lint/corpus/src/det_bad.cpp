@@ -1,0 +1,107 @@
+// Determinism-pass fixtures: positives and negatives for det-unordered-iter,
+// det-wallclock, det-rng and det-fp-reassoc. The per-file nondet rule also
+// patrols wall-clock and RNG idents under src/, so its overlaps carry
+// `allow(nondet)` -- the expectations below pin the det pass alone.
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace corpus {
+
+struct Table {
+  std::unordered_map<int, double> cells;
+  std::vector<double> ordered;
+};
+
+// Positive: range-for over an unordered member, two hops below the root.
+double sum_cells(const Table& t) {
+  double acc = 0.0;
+  for (const auto& kv : t.cells) acc = acc + kv.second;
+  return acc;
+}
+
+// Positive: explicit .begin() on an unordered name.
+int probe_cells(const Table& t) { return t.cells.begin()->first; }
+
+// Negative: iterating the vector sibling is deterministic.
+double sum_ordered(const Table& t) {
+  double acc = 0.0;
+  for (const double v : t.ordered) acc = acc + v;
+  return acc;
+}
+
+// Positive: wall-clock read one hop below the root.
+double helper_stamp() {
+  return static_cast<double>(time(nullptr));  // rbs-lint: allow(nondet)
+}
+
+// Positives: ambient RNG and a default-seeded engine.
+int draw_ambient() {
+  std::mt19937 engine;  // rbs-lint: allow(nondet)
+  (void)engine;
+  return rand();  // rbs-lint: allow(nondet)
+}
+
+// Negative: a seeded engine follows the per-item-stream discipline.
+int draw_seeded(unsigned seed) {
+  std::mt19937 engine(seed);  // rbs-lint: allow(nondet)
+  return static_cast<int>(engine());
+}
+
+struct Pool {
+  void submit(int job);
+};
+
+struct Gather {
+  Pool* pool_;
+  double reduce(int jobs);
+};
+
+// Positive: floating-point accumulation inside submit(...) reduces in
+// completion order.
+RBS_DET_PATH double Gather::reduce(int jobs) {
+  double acc = 0.0;
+  for (int j = 0; j < jobs; ++j) pool_->submit(static_cast<int>(acc += 1.0));
+  return acc;
+}
+
+// The root: everything transitively called above is on the audited surface.
+RBS_DET_PATH double root_report(const Table& t, unsigned seed) {
+  return sum_cells(t) + probe_cells(t) + sum_ordered(t) + helper_stamp() +
+         draw_ambient() + draw_seeded(seed);
+}
+
+// Negative: RBS_DET_SAFE is an audited leaf -- the walk stops here.
+RBS_DET_SAFE double audited_leaf(const Table& t) {
+  double acc = 0.0;
+  for (const auto& kv : t.cells) acc = acc + kv.second;
+  return acc;
+}
+RBS_DET_PATH double root_with_leaf(const Table& t) { return audited_leaf(t); }
+
+// Negative: a justified escape shields its body.
+RBS_DET_ESCAPE(arming_timestamp_never_in_output) double armed_deadline() {
+  return static_cast<double>(time(nullptr));  // rbs-lint: allow(nondet)
+}
+RBS_DET_PATH double root_with_escape() { return armed_deadline(); }
+
+// Positive: an escape without a reason is reported and ignored.
+RBS_DET_ESCAPE double naked_escape() { return 0.0; }
+
+// Negative: unordered iteration with no det root above it is out of scope.
+double unreachable_sum(const Table& t) {
+  double acc = 0.0;
+  for (const auto& kv : t.cells) acc = acc + kv.second;
+  return acc;
+}
+
+// Negative: suppression comment silences a det finding like any other rule.
+RBS_DET_PATH double root_suppressed(const Table& t) {
+  double acc = 0.0;
+  // rbs-lint: allow(det-unordered-iter)
+  for (const auto& kv : t.cells) acc = acc + kv.second;
+  return acc;
+}
+
+}  // namespace corpus

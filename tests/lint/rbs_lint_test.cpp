@@ -189,14 +189,14 @@ TEST(RbsLintJsonTest, FormatJsonEscapesAndStructures) {
   EXPECT_EQ(format_json({}), "[]\n");
 }
 
-TEST(RbsLintRuleListTest, TwelveRulesWithSummaries) {
+TEST(RbsLintRuleListTest, SixteenRulesWithSummaries) {
   const std::vector<RuleInfo> rules = all_rules();
-  ASSERT_EQ(rules.size(), 12u);
+  ASSERT_EQ(rules.size(), 16u);
   for (const RuleInfo& rule : rules) {
     EXPECT_FALSE(rule.name.empty());
     EXPECT_FALSE(rule.summary.empty()) << rule.name;
   }
-  EXPECT_EQ(all_rule_names().size(), 12u);
+  EXPECT_EQ(all_rule_names().size(), 16u);
 }
 
 TEST(RbsLintSourceTest, LockDisciplineHonorsGuardScopes) {

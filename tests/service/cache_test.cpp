@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -269,6 +271,54 @@ TEST_F(CacheWalTest, ReplayKeepsOnlyLiveEntriesAndCompactsOversizedWals) {
   ASSERT_TRUE(again_or.is_ok()) << again_or.status().message();
   EXPECT_EQ(again_or.value().stats().warm_entries, 3u);
   EXPECT_TRUE(again_or.value().lookup_or_begin("k9").hit);
+}
+
+TEST_F(CacheWalTest, CompactionIsByteIdenticalAcrossRuns) {
+  // The determinism gate for the cache: compaction decides which entries
+  // survive and in what WAL order by walking the recency list, never a
+  // hash-ordered index, so two opens of the same oversized journal must
+  // write byte-identical compacted WALs (docs/static-analysis.md,
+  // "Determinism discipline").
+  ResultCache::Options options;
+  options.journal_path = wal_path();
+  options.capacity = 3;
+  {
+    Expected<ResultCache> cache_or = ResultCache::open(options);
+    ASSERT_TRUE(cache_or.is_ok());
+    ResultCache& cache = cache_or.value();
+    for (int i = 0; i < 12; ++i) {
+      const std::string key = "k" + std::to_string(i % 5);  // re-publishes mix recency
+      ASSERT_TRUE(cache.lookup_or_begin(key).leader || true);
+      ASSERT_TRUE(cache.publish(key, "v" + std::to_string(i)).is_ok());
+    }
+  }
+
+  const auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string twin_path = wal_path() + ".twin";
+  const std::string oversized = read_bytes(options.journal_path);
+  ASSERT_FALSE(oversized.empty());
+  {
+    std::ofstream out(twin_path, std::ios::binary);
+    out << oversized;
+  }
+
+  // Open both copies: each replay sees > 2x capacity records and compacts.
+  { ASSERT_TRUE(ResultCache::open(options).is_ok()); }
+  ResultCache::Options twin_options = options;
+  twin_options.journal_path = twin_path;
+  { ASSERT_TRUE(ResultCache::open(twin_options).is_ok()); }
+
+  const std::string compacted = read_bytes(options.journal_path);
+  const std::string twin_compacted = read_bytes(twin_path);
+  EXPECT_LT(compacted.size(), oversized.size()) << "compaction did not trigger";
+  EXPECT_EQ(compacted, twin_compacted)
+      << "compacted WALs must not depend on anything but the recency list";
+  std::remove(twin_path.c_str());
 }
 
 TEST_F(CacheWalTest, CorruptWalIsDiscardedNotFatal) {

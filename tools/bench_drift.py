@@ -21,6 +21,13 @@ does. The kernel's throughput rides on one tight loop where a single
 accidental allocation or rescan shows up immediately, which is exactly what
 the tighter screen is for.
 
+Flat throughput artifacts (results/BENCH_service.json from `service_load
+--json`, results/BENCH_multicore.json from `bench_multicore --json`) are also
+accepted: when the JSON document has no "benchmarks" array the screen switches
+to throughput mode, comparing every `*_per_sec` field. Throughput regresses
+in the opposite direction from cpu_time -- a benchmark is flagged when the
+current rate falls below reference * (1 - tolerance).
+
 Only the standard library is used; there is nothing to install.
 """
 
@@ -38,10 +45,13 @@ def is_simulator_bench(name):
     return name.startswith(_SIMULATOR_PREFIXES)
 
 
-def load_cpu_times(path):
-    """Returns {benchmark name: cpu_time in ns} for plain iteration runs."""
+def load_doc(path):
     with open(path, "r", encoding="utf-8") as handle:
-        doc = json.load(handle)
+        return json.load(handle)
+
+
+def load_cpu_times(doc):
+    """Returns {benchmark name: cpu_time in ns} for plain iteration runs."""
     times = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type", "iteration") != "iteration":
@@ -52,6 +62,47 @@ def load_cpu_times(path):
             continue
         times[bench["name"]] = float(bench["cpu_time"]) * _TO_NS[unit]
     return times
+
+
+def load_rates(doc):
+    """Returns {field name: rate} for flat `--json` throughput artifacts."""
+    prefix = doc.get("benchmark", "")
+    rates = {}
+    for key, value in doc.items():
+        if key.endswith("_per_sec") and isinstance(value, (int, float)):
+            rates[f"{prefix}/{key}" if prefix else key] = float(value)
+    return rates
+
+
+def drift_rates(current, reference, tolerance):
+    """Throughput screen: regression when current < reference * (1 - tol)."""
+    regressions = []
+    names = sorted(set(reference) | set(current))
+    width = max((len(name) for name in names), default=10)
+    print(f"{'rate':<{width}}  {'ref /s':>12}  {'cur /s':>12}  {'delta':>8}")
+    for name in names:
+        if name not in reference:
+            print(f"{name:<{width}}  {'no baseline':>12}  {current[name]:>12.2f}  {'new':>8}")
+            continue
+        ref = reference[name]
+        if name not in current:
+            print(f"{name:<{width}}  {ref:>12.2f}  {'missing':>12}  {'--':>8}")
+            regressions.append((name, "missing from current run"))
+            continue
+        cur = current[name]
+        delta = (cur - ref) / ref if ref > 0 else 0.0
+        flag = ""
+        if delta < -tolerance:
+            flag = "  REGRESSED"
+            regressions.append((name, f"{delta:+.1%} vs reference"))
+        print(f"{name:<{width}}  {ref:>12.2f}  {cur:>12.2f}  {delta:>+7.1%}{flag}")
+    if regressions:
+        print(f"\n{len(regressions)} rate(s) below -{tolerance:.0%} tolerance:")
+        for name, why in regressions:
+            print(f"  {name}: {why}")
+        return 1
+    print(f"\nall rates within -{tolerance:.0%} of reference")
+    return 0
 
 
 def main(argv):
@@ -75,8 +126,16 @@ def main(argv):
     )
     args = parser.parse_args(argv)
 
-    current = load_cpu_times(args.current)
-    reference = load_cpu_times(args.reference)
+    current_doc = load_doc(args.current)
+    reference_doc = load_doc(args.reference)
+    if "benchmarks" not in reference_doc:
+        # Flat throughput artifact (service_load / bench_multicore --json).
+        return drift_rates(
+            load_rates(current_doc), load_rates(reference_doc), args.tolerance
+        )
+
+    current = load_cpu_times(current_doc)
+    reference = load_cpu_times(reference_doc)
 
     regressions = []
     simulator_drift = []

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "campaign/pool.hpp"
+#include "rbs_lint/det.hpp"
 #include "rbs_lint/rt.hpp"
 #include "rbs_lint/semantic.hpp"
 #include "rbs_lint/token.hpp"
@@ -629,6 +630,18 @@ std::vector<RuleInfo> all_rules() {
       {kRuleRtUnbounded,
        "no throw, recursion cycles, or reason-less RBS_RT_ESCAPE reachable "
        "from RBS_HOT_PATH roots"},
+      {kRuleDetUnorderedIter,
+       "no unordered_{map,set} iteration reachable from RBS_DET_PATH roots "
+       "(det.hpp: bucket order is salted per process)"},
+      {kRuleDetWallclock,
+       "no steady_clock/system_clock/time() reads reachable from RBS_DET_PATH "
+       "(watchdog arming goes behind RBS_DET_ESCAPE(reason))"},
+      {kRuleDetRng,
+       "no rand()/random_device/default-seeded engines reachable from "
+       "RBS_DET_PATH; seeded per-item streams only"},
+      {kRuleDetFpReassoc,
+       "no floating-point accumulation inside submit(...) reachable from "
+       "RBS_DET_PATH; gather into per-item slots and reduce serially"},
   };
 }
 
@@ -666,9 +679,11 @@ std::vector<Diagnostic> lint_source(const std::string& path, const std::string& 
   const Lexed lexed = lex(text);
   const FileIndex index = build_index(lexed.tokens);
   std::vector<Diagnostic> diags = Checker(path, lexed, index, options, extra_guarded).run();
-  // Single-unit rt pass so string-driven tests and one-file invocations see
-  // the discipline rules; lint_paths runs the project-wide variant instead.
+  // Single-unit rt + det passes so string-driven tests and one-file
+  // invocations see the discipline rules; lint_paths runs the project-wide
+  // variants instead.
   append_rt(diags, rt_check({{path, &lexed, &index}}), options);
+  append_rt(diags, det_check({{path, &lexed, &index}}), options);
   std::stable_sort(diags.begin(), diags.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.line != b.line) return a.line < b.line;
@@ -798,14 +813,15 @@ std::vector<Diagnostic> lint_paths(const std::vector<std::string>& paths,
   for (const Unit& unit : units)
     diags.insert(diags.end(), unit.diags.begin(), unit.diags.end());
 
-  // Project-wide rt pass over every unit at once: RBS_HOT_PATH reachability
-  // crosses file boundaries, so it cannot run per file. Serial by design --
-  // the walk itself is cheap next to lexing.
+  // Project-wide rt and det passes over every unit at once: RBS_HOT_PATH /
+  // RBS_DET_PATH reachability crosses file boundaries, so they cannot run
+  // per file. Serial by design -- the walks are cheap next to lexing.
   std::vector<RtUnit> rt_units;
   for (std::size_t slot = 0; slot < files.size(); ++slot)
     if (units[slot].indexed)
       rt_units.push_back({files[slot], &units[slot].lexed, &units[slot].index});
   append_rt(diags, rt_check(rt_units), options);
+  append_rt(diags, det_check(rt_units), options);
 
   std::stable_sort(diags.begin(), diags.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

@@ -32,6 +32,18 @@
 //                      blocking I/O or sleeps reachable from RBS_HOT_PATH
 //   rt-unbounded       no throw, recursion cycles, or reason-less
 //                      RBS_RT_ESCAPE reachable from RBS_HOT_PATH
+//   det-unordered-iter no iteration over std::unordered_{map,set} in
+//                      functions reachable from RBS_DET_PATH roots (det.hpp:
+//                      bucket order is salted per process)
+//   det-wallclock      no steady_clock/system_clock/time() reads reachable
+//                      from RBS_DET_PATH (watchdog arming goes behind
+//                      RBS_DET_ESCAPE(reason))
+//   det-rng            no rand()/random_device/default-seeded std engines
+//                      reachable from RBS_DET_PATH; seeded per-item streams
+//                      only
+//   det-fp-reassoc     no floating-point accumulation inside submit(...)
+//                      reachable from RBS_DET_PATH; gather into per-item
+//                      slots and reduce serially
 //
 // Suppression: a comment `// rbs-lint: allow(rule)` (comma-separated list
 // accepted) silences the named rule on its own line and the next line.

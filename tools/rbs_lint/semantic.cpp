@@ -85,6 +85,10 @@ struct HeadInfo {
   bool rt_safe = false;
   bool rt_escape = false;
   bool rt_escape_has_reason = false;
+  bool det_path = false;
+  bool det_safe = false;
+  bool det_escape = false;
+  bool det_escape_has_reason = false;
 };
 
 HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size_t end) {
@@ -225,8 +229,8 @@ HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size
         info.held_mutexes.push_back(std::move(arg));
     }
   }
-  // Rt flags may sit last in the head (nothing follows before the '{' / ';'),
-  // so this scan covers the full range, unlike the k + 1 loop above.
+  // Rt/det flags may sit last in the head (nothing follows before the '{' /
+  // ';'), so this scan covers the full range, unlike the k + 1 loop above.
   for (std::size_t k = begin; k < end; ++k) {
     if (t[k].kind != TokKind::kIdent) continue;
     if (t[k].text == "RBS_HOT_PATH") info.hot_path = true;
@@ -234,6 +238,12 @@ HeadInfo classify_head(const std::vector<Token>& t, std::size_t begin, std::size
     if (t[k].text == "RBS_RT_ESCAPE") {
       info.rt_escape = true;
       info.rt_escape_has_reason = !annotation_arguments(t, k + 1).empty();
+    }
+    if (t[k].text == "RBS_DET_PATH") info.det_path = true;
+    if (t[k].text == "RBS_DET_SAFE") info.det_safe = true;
+    if (t[k].text == "RBS_DET_ESCAPE") {
+      info.det_escape = true;
+      info.det_escape_has_reason = !annotation_arguments(t, k + 1).empty();
     }
   }
   return info;
@@ -243,7 +253,8 @@ bool has_rt_annotation(const std::vector<Token>& t, std::size_t begin, std::size
   for (std::size_t k = begin; k < end; ++k)
     if (t[k].kind == TokKind::kIdent &&
         (t[k].text == "RBS_HOT_PATH" || t[k].text == "RBS_RT_SAFE" ||
-         t[k].text == "RBS_RT_ESCAPE"))
+         t[k].text == "RBS_RT_ESCAPE" || t[k].text == "RBS_DET_PATH" ||
+         t[k].text == "RBS_DET_SAFE" || t[k].text == "RBS_DET_ESCAPE"))
       return true;
   return false;
 }
@@ -296,6 +307,10 @@ FileIndex build_index(const std::vector<Token>& tokens) {
         fn.rt_safe = head.rt_safe;
         fn.rt_escape = head.rt_escape;
         fn.rt_escape_has_reason = head.rt_escape_has_reason;
+        fn.det_path = head.det_path;
+        fn.det_safe = head.det_safe;
+        fn.det_escape = head.det_escape;
+        fn.det_escape_has_reason = head.det_escape_has_reason;
         scope.function = index.functions.size();
         index.functions.push_back(std::move(fn));
       }
@@ -319,7 +334,8 @@ FileIndex build_index(const std::vector<Token>& tokens) {
       if (has_rt_annotation(tokens, head_start, i)) {
         HeadInfo head = classify_head(tokens, head_start, i);
         if (head.kind == Scope::Kind::kFunction &&
-            (head.hot_path || head.rt_safe || head.rt_escape)) {
+            (head.hot_path || head.rt_safe || head.rt_escape || head.det_path ||
+             head.det_safe || head.det_escape)) {
           RtDecl decl;
           decl.class_name = !head.qualifier.empty() ? head.qualifier : enclosing_class();
           decl.name = head.name;
@@ -327,6 +343,10 @@ FileIndex build_index(const std::vector<Token>& tokens) {
           decl.rt_safe = head.rt_safe;
           decl.rt_escape = head.rt_escape;
           decl.rt_escape_has_reason = head.rt_escape_has_reason;
+          decl.det_path = head.det_path;
+          decl.det_safe = head.det_safe;
+          decl.det_escape = head.det_escape;
+          decl.det_escape_has_reason = head.det_escape_has_reason;
           decl.line = tok.line;
           index.rt_decls.push_back(std::move(decl));
         }

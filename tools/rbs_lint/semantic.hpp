@@ -57,11 +57,18 @@ struct FunctionInfo {
   bool rt_safe = false;    ///< RBS_RT_SAFE: audited leaf, not scanned or descended
   bool rt_escape = false;  ///< RBS_RT_ESCAPE(reason): justified exception
   bool rt_escape_has_reason = false;  ///< the escape carried a non-empty reason
+
+  // Determinism discipline flags (support/det_annotations.hpp), harvested the
+  // same way; det.cpp merges in declaration-site annotations too.
+  bool det_path = false;   ///< RBS_DET_PATH: a root of the det reachability walk
+  bool det_safe = false;   ///< RBS_DET_SAFE: audited leaf, not scanned or descended
+  bool det_escape = false; ///< RBS_DET_ESCAPE(reason): justified exception
+  bool det_escape_has_reason = false;  ///< the escape carried a non-empty reason
 };
 
-/// A function *declaration* (no body) carrying rt annotations, e.g.
-/// `void step() RBS_HOT_PATH;` in a class or header. rt.cpp matches these to
-/// definitions by (class, name) so annotating either site is enough.
+/// A function *declaration* (no body) carrying rt or det annotations, e.g.
+/// `void step() RBS_HOT_PATH;` in a class or header. rt.cpp and det.cpp match
+/// these to definitions by (class, name) so annotating either site is enough.
 struct RtDecl {
   std::string class_name;  ///< enclosing class or out-of-line qualifier; "" for free
   std::string name;
@@ -69,6 +76,10 @@ struct RtDecl {
   bool rt_safe = false;
   bool rt_escape = false;
   bool rt_escape_has_reason = false;
+  bool det_path = false;
+  bool det_safe = false;
+  bool det_escape = false;
+  bool det_escape_has_reason = false;
   int line = 0;
 };
 
